@@ -1,0 +1,83 @@
+"""C4 — §5 claim: test development time drops once base functions exist.
+
+Proxy: the size (LoC) and assembly cost of a new test written with the
+base-function library vs the same behaviour written without it, and how
+the advantage accumulates over a suite.
+"""
+
+from repro.core.metrics import loc
+from repro.core.targets import TARGET_GOLDEN
+from repro.core.workloads import (
+    make_nvm_environment,
+    nvm_test_advm,
+    nvm_test_hardwired,
+)
+from repro.soc.derivatives import SC88A
+
+from conftest import shape
+
+
+def test_c4_loc_per_new_test(benchmark):
+    defines = make_nvm_environment(8).defines
+
+    def measure():
+        advm_loc = [
+            loc(nvm_test_advm(index).source) for index in range(1, 9)
+        ]
+        hardwired_loc = [
+            loc(nvm_test_hardwired(index, defines, SC88A, TARGET_GOLDEN))
+            for index in range(1, 9)
+        ]
+        return advm_loc, hardwired_loc
+
+    advm_loc, hardwired_loc = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    mean_advm = sum(advm_loc) / len(advm_loc)
+    mean_hardwired = sum(hardwired_loc) / len(hardwired_loc)
+    assert mean_advm < mean_hardwired
+    shape(
+        f"C4: new NVM test = {mean_advm:.0f} LoC with base functions vs "
+        f"{mean_hardwired:.0f} LoC without "
+        f"({mean_hardwired / mean_advm:.1f}x)"
+    )
+
+
+def test_c4_cumulative_suite_loc(benchmark):
+    """Over a growing suite the library amortises: total test-layer LoC
+    grows much slower in ADVM style."""
+    defines = make_nvm_environment(12).defines
+
+    def cumulative():
+        advm_total = 0
+        hardwired_total = 0
+        rows = []
+        for index in range(1, 13):
+            advm_total += loc(nvm_test_advm(index).source)
+            hardwired_total += loc(
+                nvm_test_hardwired(index, defines, SC88A, TARGET_GOLDEN)
+            )
+            rows.append((index, advm_total, hardwired_total))
+        return rows
+
+    rows = benchmark.pedantic(cumulative, rounds=1, iterations=1)
+    final_n, advm_total, hardwired_total = rows[-1]
+    assert advm_total < hardwired_total
+    shape(
+        f"C4: suite of {final_n} tests = {advm_total} test-layer LoC "
+        f"(ADVM) vs {hardwired_total} LoC (hardwired)"
+    )
+
+
+def test_c4_assembly_throughput(benchmark):
+    """Build cost of one ADVM test cell (assemble + link all layers) —
+    the turnaround a test developer iterates on."""
+    env = make_nvm_environment(1)
+    artifacts = benchmark(
+        env.build_image, "TEST_NVM_PAGE_001", SC88A, TARGET_GOLDEN
+    )
+    assert artifacts.image.total_bytes > 0
+    shape(
+        f"C4: full build of one test cell = {artifacts.image.total_bytes} "
+        "image bytes (see timing table)"
+    )

@@ -1,0 +1,89 @@
+"""C7 — §3 claim: release labels give stable regressions.
+
+"The test environment is not stable during any development of the
+abstraction layer, unless frozen via a release label."  We mutate the
+live abstraction layer mid-regression: the frozen run is bit-stable and
+green; the live run changes behaviour (here: breaks).
+"""
+
+from repro.core.release import ReleaseManager
+from repro.core.workloads import make_nvm_environment, make_uart_environment
+from repro.soc.derivatives import SC88A
+
+from conftest import shape
+
+
+def test_c7_frozen_regression_survives_live_mutation(benchmark):
+    def scenario():
+        manager = ReleaseManager()
+        env = make_nvm_environment(2)
+        manager.create_label("NVM_R1.0", env)
+        frozen = manager.frozen("NVM_R1.0")
+
+        # Regression starts against the frozen label...
+        first = frozen.run_test("TEST_NVM_PAGE_001", SC88A)
+
+        # ...while a developer breaks the live abstraction layer.
+        env.defines.set_extra("TEST1_TARGET_PAGE", 999_999)
+        dirty = manager.is_dirty("NVM_R1.0")
+
+        # The frozen regression continues unaffected.
+        second = frozen.run_test("TEST_NVM_PAGE_001", SC88A)
+        live = env.run_test("TEST_NVM_PAGE_001", SC88A)
+        return first, second, live, dirty
+
+    first, second, live, dirty = benchmark.pedantic(
+        scenario, rounds=1, iterations=1
+    )
+    assert first.passed and second.passed
+    assert not live.passed
+    assert dirty
+    shape(
+        "C7: frozen label stays green through live mutation "
+        "(live run fails, dirty-flag raised)"
+    )
+
+
+def test_c7_system_label_composition(benchmark):
+    """System regressions run against a label composed of sub-labels,
+    released by a single owner."""
+
+    def scenario():
+        manager = ReleaseManager()
+        nvm = make_nvm_environment(1)
+        uart = make_uart_environment(1)
+        manager.create_label("NVM_R1", nvm)
+        manager.create_label("UART_R2", uart)
+        manager.compose_system_label(
+            "SYS_2026_06", {"NVM": "NVM_R1", "UART": "UART_R2"}
+        )
+        frozen = manager.frozen_system("SYS_2026_06")
+        results = {}
+        for env_name, frozen_env in frozen.items():
+            for cell_name, result in frozen_env.run_all(SC88A).items():
+                results[(env_name, cell_name)] = result.passed
+        return results
+
+    results = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert all(results.values())
+    shape(
+        f"C7: system label SYS_2026_06[NVM=NVM_R1, UART=UART_R2] runs "
+        f"{len(results)} frozen tests green"
+    )
+
+
+def test_c7_label_digest_detects_drift(benchmark):
+    def scenario():
+        manager = ReleaseManager()
+        env = make_nvm_environment(1)
+        manager.create_label("R1", env)
+        clean_before = not manager.is_dirty("R1")
+        env.defines.set_extra("NEW_KNOB", 1)
+        dirty_after = manager.is_dirty("R1")
+        return clean_before, dirty_after
+
+    clean_before, dirty_after = benchmark.pedantic(
+        scenario, rounds=1, iterations=1
+    )
+    assert clean_before and dirty_after
+    shape("C7: content digest flags abstraction-layer drift after release")

@@ -1,0 +1,48 @@
+"""F1 — Figure 1: the three-layer module test environment.
+
+Regenerates the module environment structure (test layer + abstraction
+layer + global layer), verifies the layering is real (tests build only
+through the abstraction layer), and measures the cost of constructing
+and building within it.
+"""
+
+from repro.core.targets import TARGET_GOLDEN
+from repro.core.workloads import make_nvm_environment
+from repro.soc.derivatives import SC88A
+
+from conftest import shape
+
+
+def test_fig1_layering_structure(benchmark):
+    env = benchmark(make_nvm_environment, 4)
+    # Test layer: N cells.
+    assert len(env.cells) == 4
+    # Abstraction layer: exactly the two generated files.
+    files = env.abstraction_files()
+    assert set(files) == {"Globals.inc", "Base_Functions.asm"}
+    # Global layer: present but not owned by the module environment.
+    library_files = env.global_layer.library_files()
+    assert "Trap_Handlers.asm" in library_files
+    shape(
+        f"F1: module env = {len(env.cells)} tests over "
+        f"{len(files)} abstraction files + "
+        f"{len(library_files)} global libraries"
+    )
+
+
+def test_fig1_build_through_abstraction_layer(benchmark):
+    env = make_nvm_environment(1)
+    artifacts = benchmark(
+        env.build_image, "TEST_NVM_PAGE_001", SC88A, TARGET_GOLDEN
+    )
+    included = artifacts.test_object.included_files
+    # The test pulled in ONLY its own source and Globals.inc.
+    assert len(included) == 2
+    assert included[1].endswith("Globals.inc")
+    # All global-layer access went through Base_* externs.
+    externs = artifacts.test_object.undefined_symbols()
+    assert all(symbol.startswith("Base_") for symbol in externs)
+    shape(
+        "F1: test object includes only Globals.inc; externs = "
+        + ", ".join(sorted(externs))
+    )

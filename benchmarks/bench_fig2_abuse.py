@@ -1,0 +1,78 @@
+"""F2 — Figure 2: abuse of the module test environment.
+
+Injects direct global-layer usage into k of N tests; the checker must
+flag exactly those k tests.  Then demonstrates the paper's warning: when
+the global layer changes, the abusive tests break while the clean ones
+survive untouched.
+"""
+
+from repro.core.environment import TestCell
+from repro.core.targets import TARGET_GOLDEN
+from repro.core.violations import check_environment
+from repro.core.workloads import make_nvm_environment
+from repro.soc.derivatives import SC88A, SC88D
+
+from conftest import shape
+
+ABUSIVE_SOURCE = """\
+.INCLUDE Globals.inc
+_main:
+    LOAD a4, UART_BAUD_ADDR
+    LOAD d4, 0x77
+    LOAD CallAddr, ES_Init_Register    ;; direct firmware call (abuse)
+    CALL CallAddr
+    JMP Base_Report_Pass
+"""
+
+
+def abusive_environment(clean: int, abusive: int):
+    env = make_nvm_environment(clean)
+    for index in range(abusive):
+        env.add_test(
+            TestCell(
+                name=f"TEST_ABUSE_{index:03d}",
+                source=ABUSIVE_SOURCE,
+            )
+        )
+    return env
+
+
+def test_fig2_checker_flags_exactly_the_abusers(benchmark):
+    clean, abusive = 4, 3
+    env = abusive_environment(clean, abusive)
+    violations = benchmark(check_environment, env, SC88A, TARGET_GOLDEN)
+    flagged = {v.test_name for v in violations}
+    assert flagged == {f"TEST_ABUSE_{i:03d}" for i in range(abusive)}
+    shape(
+        f"F2: checker flagged {len(flagged)}/{clean + abusive} tests "
+        f"(expected exactly the {abusive} abusive ones)"
+    )
+
+
+def test_fig2_abuse_breaks_on_global_change(benchmark):
+    """The consequence the paper warns about: the sc88d firmware rewrite
+    breaks every abusive test (build failure) while all clean tests pass
+    unmodified."""
+    env = abusive_environment(clean=2, abusive=1)
+
+    def port_attempt():
+        clean_ok = 0
+        abusive_broken = 0
+        for name in env.cells:
+            try:
+                result = env.run_test(name, SC88D)
+                if result.passed:
+                    clean_ok += 1
+            except Exception:
+                abusive_broken += 1
+        return clean_ok, abusive_broken
+
+    clean_ok, abusive_broken = benchmark.pedantic(
+        port_attempt, rounds=1, iterations=1
+    )
+    assert clean_ok == 2
+    assert abusive_broken == 1
+    shape(
+        "F2: after the firmware rewrite, 2/2 clean tests pass, "
+        "1/1 abusive test needs re-factoring"
+    )

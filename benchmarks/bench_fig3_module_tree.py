@@ -1,0 +1,61 @@
+"""F3 — Figure 3: module directory structure.
+
+Generates the on-disk module tree (Abstraction_Layer/, TESTPLAN.TXT, one
+directory per test cell), validates it, and round-trips it back into a
+runnable environment.
+"""
+
+from pathlib import Path
+
+from repro.core.workloads import make_nvm_environment
+from repro.core.workspace import (
+    load_module_environment,
+    validate_module_tree,
+    write_module_environment,
+)
+from repro.soc.derivatives import SC88A
+
+from conftest import shape
+
+
+def test_fig3_tree_generation(benchmark, tmp_path):
+    env = make_nvm_environment(4)
+
+    counter = {"n": 0}
+
+    def write_once():
+        counter["n"] += 1
+        return write_module_environment(env, tmp_path / str(counter["n"]))
+
+    module_dir = benchmark(write_once)
+    issues = validate_module_tree(module_dir)
+    assert issues == []
+    entries = sorted(p.name for p in Path(module_dir).iterdir())
+    assert "Abstraction_Layer" in entries
+    assert "TESTPLAN.TXT" in entries
+    cell_dirs = [e for e in entries if e.startswith("TEST_")]
+    assert len(cell_dirs) == 4
+    shape(f"F3: module tree = Abstraction_Layer + TESTPLAN.TXT + {len(cell_dirs)} test cells")
+
+
+def test_fig3_round_trip_runs(tmp_path, benchmark):
+    env = make_nvm_environment(2)
+    module_dir = write_module_environment(env, tmp_path)
+    loaded = benchmark.pedantic(
+        load_module_environment, args=(module_dir,), rounds=1, iterations=1
+    )
+    results = loaded.run_all(SC88A)
+    assert all(r.passed for r in results.values())
+    shape("F3: tree round-trips into a runnable environment (2/2 pass)")
+
+
+def test_fig3_testplan_grepable(tmp_path, benchmark):
+    env = make_nvm_environment(3)
+    module_dir = write_module_environment(env, tmp_path)
+    text = benchmark.pedantic(
+        (module_dir / "TESTPLAN.TXT").read_text, rounds=1, iterations=1
+    )
+    # "it can be searched (grep'ed) easily from the command line"
+    hits = [line for line in text.splitlines() if "NVM_" in line]
+    assert len(hits) == 3
+    shape(f"F3: TESTPLAN.TXT is plain text; grep 'NVM_' -> {len(hits)} hits")

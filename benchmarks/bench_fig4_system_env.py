@@ -1,0 +1,70 @@
+"""F4 — Figure 4: the complete test environment.
+
+Composes module environments over one shared global layer and verifies
+the isolation rule: environments share code only via the global layer.
+"""
+
+from repro.core.environment import TestCell
+from repro.core.system_env import SystemEnvironment, make_default_system
+from repro.core.workloads import make_nvm_environment, make_uart_environment
+from repro.soc.derivatives import SC88A
+
+from conftest import shape
+
+
+def test_fig4_composition(benchmark):
+    system = benchmark(make_default_system, nvm_tests=2, uart_tests=2)
+    assert len(system.environments) == 6
+    layers = {id(env.global_layer) for env in system.environments.values()}
+    assert len(layers) == 1
+    shape(
+        f"F4: {len(system.environments)} module environments over one "
+        f"shared global layer ({system.total_tests} tests total)"
+    )
+
+
+def test_fig4_isolation_clean(default_system, benchmark):
+    violations = benchmark(default_system.check_isolation)
+    assert violations == []
+    shape("F4: isolation check clean — no cross-environment references")
+
+
+def test_fig4_isolation_detects_leak(benchmark):
+    system = SystemEnvironment()
+    system.add_environment(make_nvm_environment(1))
+    uart = make_uart_environment(1)
+    uart.add_test(
+        TestCell(
+            name="TEST_LEAK",
+            source=(
+                ".INCLUDE Globals.inc\n_main:\n"
+                "    LOAD d4, TEST1_TARGET_PAGE\n"
+                "    JMP Base_Report_Pass\n"
+            ),
+        )
+    )
+    system.add_environment(uart)
+    violations = benchmark.pedantic(
+        system.check_isolation, rounds=1, iterations=1
+    )
+    assert len(violations) == 1
+    assert violations[0].referenced_env == "NVM"
+    shape(
+        "F4: injected cross-environment reference detected: "
+        + str(violations[0])
+    )
+
+
+def test_fig4_system_regression_passes(default_system, benchmark):
+    results = benchmark.pedantic(
+        default_system.run_all, args=(SC88A,), rounds=1, iterations=1
+    )
+    total = sum(len(cells) for cells in results.values())
+    passed = sum(
+        1
+        for cells in results.values()
+        for result in cells.values()
+        if result.passed
+    )
+    assert passed == total
+    shape(f"F4: system regression {passed}/{total} tests pass on sc88a")

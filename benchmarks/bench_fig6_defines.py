@@ -1,0 +1,71 @@
+"""F6 — Figure 6: global defines absorb spec and derivative changes.
+
+The paper's first worked example: two tests INSERT a page value into a
+control-register field.  We reproduce both change scenarios:
+
+(a) *specification change* — the field moves by one bit (sc88a -> sc88c);
+(b) *derivative change* — the field widens 5 -> 6 bits (sc88a -> sc88b);
+
+and measure the edit cost: the ADVM side edits only the abstraction
+layer (here: the generated per-derivative block), the hardwired baseline
+edits every test.
+"""
+
+from repro.core.metrics import diff_files
+from repro.core.porting import compare_nvm_port
+from repro.core.targets import TARGET_GOLDEN
+from repro.core.workloads import (
+    make_nvm_environment,
+    nvm_test_hardwired,
+)
+from repro.soc.derivatives import SC88A, SC88B, SC88C
+
+from conftest import shape
+
+SUITE = 6
+
+
+def test_fig6_spec_change_shift(benchmark):
+    """Field shifted by one bit: tests pass on both variants unmodified."""
+    comparison = benchmark(compare_nvm_port, SUITE, [SC88A], SC88C)
+    assert comparison.advm.all_pass
+    advm_touched = [
+        d.filename for d in comparison.advm.effort.diffs if d.touched
+    ]
+    assert advm_touched == ["Globals.inc"]
+    assert comparison.baseline.effort.files_touched == SUITE
+    shape(
+        f"F6(a) spec shift: ADVM edits 1 file "
+        f"({comparison.advm.effort.lines_changed} lines); baseline edits "
+        f"{comparison.baseline.effort.files_touched} test files "
+        f"({comparison.baseline.effort.lines_changed} lines)"
+    )
+
+
+def test_fig6_derivative_change_widen(benchmark):
+    """Field widened 5 -> 6 bits (more pages): same picture."""
+    comparison = benchmark(compare_nvm_port, SUITE, [SC88A], SC88B)
+    assert comparison.advm.all_pass and comparison.baseline.all_pass
+    assert comparison.factors["files_factor"] == SUITE
+    shape(
+        f"F6(b) field widened: files saving factor = "
+        f"{comparison.factors['files_factor']:.0f}x at N={SUITE} tests"
+    )
+
+
+def test_fig6_hardwired_diff_localises_the_pain(benchmark):
+    """Show *what* changes in a hardwired test between derivatives: the
+    INSERT operands — exactly the values Figure 6 moves into defines."""
+    defines = make_nvm_environment(1).defines
+    before = nvm_test_hardwired(1, defines, SC88A, TARGET_GOLDEN)
+    after = nvm_test_hardwired(1, defines, SC88C, TARGET_GOLDEN)
+    diff = benchmark.pedantic(
+        diff_files, args=("test1", before, after), rounds=1, iterations=1
+    )
+    assert diff.touched
+    assert "INSERT d14, d14, 10, 0, 5" in before
+    assert "INSERT d14, d14, 10, 1, 5" in after  # pos 0 -> 1
+    shape(
+        f"F6: hardwired INSERT operands changed between derivatives "
+        f"({diff.changed} lines per test x N tests)"
+    )

@@ -1,0 +1,85 @@
+"""F7 — Figure 7: base-function wrappers absorb global-layer changes.
+
+The paper's second worked example: a test needs an embedded-software
+function.  The firmware is then rewritten — entry point renamed, input
+registers swapped (sc88d).  The wrapped suite ports with a one-file
+abstraction-layer edit; a suite calling the firmware directly needs
+every test re-factored (indeed, it does not even build).
+"""
+
+from repro.core.metrics import diff_files
+from repro.core.porting import port_advm_environment
+from repro.core.workloads import make_reginit_environment
+from repro.soc.derivatives import SC88A, SC88B, SC88D
+
+from conftest import shape
+
+
+def build_env(derivatives):
+    return make_reginit_environment(derivatives=derivatives)
+
+
+def test_fig7_wrapper_absorbs_firmware_rewrite(benchmark):
+    outcome = benchmark(
+        port_advm_environment, build_env, [SC88A, SC88B], SC88D
+    )
+    assert outcome.all_pass
+    touched = {d.filename for d in outcome.effort.diffs if d.touched}
+    assert "Base_Functions.asm" in touched
+    assert not any(name.startswith("TEST_") for name in touched)
+    shape(
+        "F7: firmware rewrite absorbed by "
+        f"{sorted(touched)}; 0 of "
+        f"{sum(1 for d in outcome.effort.diffs if d.filename.startswith('TEST_'))} "
+        "test files touched; ported suite passes"
+    )
+
+
+def test_fig7_wrapper_delta_is_the_remap(benchmark):
+    """The Base_Functions diff contains exactly the paper's remedy: a
+    conditional block that re-maps the inputs and the renamed symbol."""
+    before = build_env([SC88A, SC88B]).base_functions_text()
+    after = benchmark.pedantic(
+        build_env([SC88A, SC88B, SC88D]).base_functions_text,
+        rounds=1,
+        iterations=1,
+    )
+    diff = diff_files("Base_Functions.asm", before, after)
+    assert diff.touched
+    assert "ES_InitRegister" in after and "ES_InitRegister" not in before
+    assert "MOV a5, a4" in after  # the input re-map
+    shape(
+        f"F7: wrapper edit = {diff.changed} lines "
+        "(.IFDEF block remapping a4/d4 -> a5/d5 and the renamed symbol)"
+    )
+
+
+def test_fig7_unwrapped_suite_cost_scales_with_n(benchmark):
+    """Baseline: every direct-calling test must change when the firmware
+    changes — the re-factoring cost the wrapper avoids."""
+    from repro.core.targets import TARGET_GOLDEN
+    from repro.core.workloads import REGINIT_TARGETS, reginit_test_hardwired
+
+    defines = build_env([SC88A]).defines
+
+    def count_touched():
+        touched = 0
+        for index, (register_define, value) in enumerate(REGINIT_TARGETS):
+            before = reginit_test_hardwired(
+                index + 1, register_define, value, defines, SC88A,
+                TARGET_GOLDEN,
+            )
+            after = reginit_test_hardwired(
+                index + 1, register_define, value, defines, SC88D,
+                TARGET_GOLDEN,
+            )
+            if diff_files("t", before, after).touched:
+                touched += 1
+        return touched
+
+    changed = benchmark.pedantic(count_touched, rounds=1, iterations=1)
+    assert changed == len(REGINIT_TARGETS)
+    shape(
+        f"F7: baseline re-factoring touches {changed}/{len(REGINIT_TARGETS)} "
+        "direct-calling tests (O(N)); wrapper cost is O(1)"
+    )

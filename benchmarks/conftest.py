@@ -1,0 +1,24 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark module regenerates one row of DESIGN.md's per-experiment
+index (paper figures F1-F7 and claims C1-C7).  Benchmarks both *measure*
+(pytest-benchmark timings of the representative operation) and *assert
+the paper's shape* (who wins, by what kind of factor) so a regression in
+the reproduced result fails the bench run, not just the prose.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def shape(msg: str) -> None:
+    """Print a reproduced-shape line into the bench log."""
+    print(f"[shape] {msg}")
+
+
+@pytest.fixture(scope="session")
+def default_system():
+    from repro.core.system_env import make_default_system
+
+    return make_default_system(nvm_tests=2, uart_tests=1)

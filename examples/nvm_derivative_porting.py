@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The paper's headline claim, measured: rapid porting to derivatives.
+
+Ports an NVM test suite from sc88a to the three other derivatives, twice:
+
+- **ADVM style** — tests reference only Globals.inc names and Base_*
+  wrappers; the port edits the abstraction layer only;
+- **hardwired style** — every value is a literal; the port edits every
+  test.
+
+Both suites are *run* after each port to prove the edits were complete,
+and the effort (files touched, lines changed) is tabulated.
+
+Run:  python examples/nvm_derivative_porting.py
+"""
+
+from repro.core import compare_nvm_port, render_table
+from repro.soc import SC88A, SC88B, SC88C, SC88D
+
+SUITE_SIZE = 6
+
+
+def main() -> None:
+    rows = []
+    for new in (SC88B, SC88C, SC88D):
+        comparison = compare_nvm_port(SUITE_SIZE, [SC88A], new)
+        advm = comparison.advm.effort
+        baseline = comparison.baseline.effort
+        rows.append(
+            [
+                f"sc88a -> {new.name}",
+                new.description.split(":")[0],
+                f"{advm.files_touched} files / {advm.lines_changed} lines",
+                f"{baseline.files_touched} files / "
+                f"{baseline.lines_changed} lines",
+                f"{comparison.factors['files_factor']:.0f}x",
+                "yes" if comparison.advm.all_pass else "NO",
+            ]
+        )
+
+    print(f"porting a {SUITE_SIZE}-test NVM suite (tests are never edited "
+          "in the ADVM column):\n")
+    print(
+        render_table(
+            [
+                "port",
+                "change class",
+                "ADVM edit",
+                "hardwired edit",
+                "files saved",
+                "suite passes",
+            ],
+            rows,
+        )
+    )
+
+    print(
+        "\nNote the shape: the ADVM edit is one abstraction-layer block, "
+        "constant in suite size;\nthe hardwired edit grows with every "
+        "test.  At the paper's industrial suite sizes the\nfactor is the "
+        "suite size itself."
+    )
+
+
+if __name__ == "__main__":
+    main()

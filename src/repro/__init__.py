@@ -1,0 +1,29 @@
+"""repro — reproduction of "An Assembler Driven Verification Methodology
+(ADVM)" (MacBeth, Heinz, Gray; DATE 2004).
+
+Layers, bottom-up:
+
+- :mod:`repro.isa` — the SC88 chip-card CPU instruction set;
+- :mod:`repro.assembler` — two-pass macro assembler + linker for it;
+- :mod:`repro.soc` — the device under test: derivatives, peripherals,
+  register maps, embedded-software firmware;
+- :mod:`repro.platforms` — the six execution platforms one test image
+  runs on (golden model → product silicon);
+- :mod:`repro.core` — the ADVM itself: three-layer test environments,
+  generated abstraction layers, violation checking, porting metrics,
+  release labels, cross-platform regressions, constrained-random
+  ``Globals.inc`` generation and functional coverage.
+
+Quickstart::
+
+    from repro.core import make_nvm_environment
+    from repro.soc import derivative
+
+    env = make_nvm_environment(num_tests=2)
+    result = env.run_test("TEST_NVM_PAGE_001", derivative("sc88a"))
+    assert result.passed
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

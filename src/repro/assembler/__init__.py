@@ -1,0 +1,89 @@
+"""SC88 assembler toolchain.
+
+A full two-pass macro assembler and linker for the SC88 ISA, supporting the
+directive set the ADVM paper's code examples rely on: ``.INCLUDE`` (the
+test layer pulls in ``Globals.inc``), ``NAME .EQU expr`` (global defines),
+``.DEFINE CallAddr A12`` (register aliases), conditional assembly keyed on
+injected predefines (derivative/target selection) and macros.
+
+Typical use::
+
+    asm = Assembler(include_paths=["Abstraction_Layer"],
+                    predefines={"DERIVATIVE_SC88A": 1})
+    obj = asm.assemble_file("TEST_NVM_PAGE/test.asm")
+    image = Linker(text_base=0x100, data_base=0x10000000).link(
+        [obj, base_functions_obj, embedded_software_obj])
+"""
+
+from repro.assembler.assembler import Assembler, ListingRecord
+from repro.assembler.errors import (
+    AssemblerError,
+    Diagnostics,
+    DirectiveError,
+    EncodingError,
+    ExpressionError,
+    IncludeError,
+    LexError,
+    LinkError,
+    ParseError,
+    SourceLocation,
+    SymbolError,
+)
+from repro.assembler.lexer import Token, TokenKind, tokenize_line
+from repro.assembler.linker import (
+    Linker,
+    MemoryImage,
+    PlacedSection,
+    Region,
+)
+from repro.assembler.listing import (
+    disassemble_range,
+    disassemble_word,
+    render_listing,
+)
+from repro.assembler.objectfile import (
+    ObjectFile,
+    Relocation,
+    Section,
+    Symbol,
+)
+from repro.assembler.preprocessor import (
+    FileProvider,
+    FilesystemProvider,
+    InMemoryProvider,
+    SourceStream,
+)
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "Diagnostics",
+    "DirectiveError",
+    "EncodingError",
+    "ExpressionError",
+    "FileProvider",
+    "FilesystemProvider",
+    "IncludeError",
+    "InMemoryProvider",
+    "LexError",
+    "LinkError",
+    "Linker",
+    "ListingRecord",
+    "MemoryImage",
+    "ObjectFile",
+    "ParseError",
+    "PlacedSection",
+    "Region",
+    "Relocation",
+    "Section",
+    "SourceLocation",
+    "SourceStream",
+    "Symbol",
+    "SymbolError",
+    "Token",
+    "TokenKind",
+    "disassemble_range",
+    "disassemble_word",
+    "render_listing",
+    "tokenize_line",
+]

@@ -1,0 +1,237 @@
+"""Constant-expression evaluation for assembler operands and directives.
+
+Expressions appear in ``.EQU`` values, ``.IF`` conditions, immediates,
+``.WORD`` data and absolute operands.  They evaluate over 64-bit Python
+ints with C-like operator precedence.
+
+A term may be a symbol that is *not yet known* (a label defined in another
+object file, e.g. the paper's ``ES_Init_Register`` which lives in the
+embedded-software ROM).  Such expressions evaluate to a **symbolic** result
+``symbol + addend`` and may only be used where the instruction set carries a
+full 32-bit literal word, because that is the only thing the linker can
+relocate.  Callers enforce that restriction via :meth:`ExprResult.require_absolute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.assembler.errors import ExpressionError, SourceLocation
+from repro.assembler.lexer import Token, TokenKind
+
+#: Resolver contract: return the symbol's value, or ``None`` when the symbol
+#: is external/not yet defined (making the expression symbolic), or raise
+#: :class:`~repro.assembler.errors.SymbolError` for names that are illegal.
+Resolver = Callable[[str], "int | None"]
+
+
+@dataclass(frozen=True)
+class ExprResult:
+    """Evaluated expression: absolute value, or ``symbol + value``."""
+
+    value: int
+    symbol: str | None = None
+
+    @property
+    def is_absolute(self) -> bool:
+        return self.symbol is None
+
+    def require_absolute(self, what: str, location: SourceLocation) -> int:
+        if self.symbol is not None:
+            raise ExpressionError(
+                f"{what} must be an absolute expression, but references "
+                f"unresolved symbol {self.symbol!r} (only 32-bit literal "
+                "operands can be relocated)",
+                location,
+            )
+        return self.value
+
+
+class _Parser:
+    """Recursive-descent evaluator over a token slice."""
+
+    def __init__(
+        self,
+        tokens: list[Token],
+        resolver: Resolver,
+        location: SourceLocation,
+    ):
+        self.tokens = tokens
+        self.pos = 0
+        self.resolver = resolver
+        self.location = location
+
+    # -- token helpers ----------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOL:
+            self.pos += 1
+        return token
+
+    def accept_punct(self, text: str) -> bool:
+        if self.peek().is_punct(text):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> None:
+        if not self.accept_punct(text):
+            raise ExpressionError(
+                f"expected {text!r}, found {self.peek()!s}", self.location
+            )
+
+    # -- grammar ------------------------------------------------------------
+    # Levels from loosest to tightest binding.
+    _BINARY_LEVELS: list[tuple[str, ...]] = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", ">", "<=", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse(self) -> ExprResult:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ExprResult:
+        if level == len(self._BINARY_LEVELS):
+            return self._unary()
+        result = self._binary(level + 1)
+        ops = self._BINARY_LEVELS[level]
+        while self.peek().kind is TokenKind.PUNCT and self.peek().text in ops:
+            op = self.advance().text
+            rhs = self._binary(level + 1)
+            result = self._apply(op, result, rhs)
+        return result
+
+    def _unary(self) -> ExprResult:
+        token = self.peek()
+        if token.is_punct("-"):
+            self.advance()
+            operand = self._unary()
+            if operand.symbol is not None:
+                raise ExpressionError(
+                    "cannot negate a symbolic expression", self.location
+                )
+            return ExprResult(-operand.value)
+        if token.is_punct("~"):
+            self.advance()
+            operand = self._unary()
+            if operand.symbol is not None:
+                raise ExpressionError(
+                    "cannot complement a symbolic expression", self.location
+                )
+            return ExprResult(~operand.value)
+        if token.is_punct("!"):
+            self.advance()
+            operand = self._unary()
+            if operand.symbol is not None:
+                raise ExpressionError(
+                    "cannot logically negate a symbolic expression",
+                    self.location,
+                )
+            return ExprResult(int(operand.value == 0))
+        if token.is_punct("+"):
+            self.advance()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ExprResult:
+        token = self.peek()
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            assert token.value is not None
+            return ExprResult(token.value)
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            resolved = self.resolver(token.text)
+            if resolved is None:
+                return ExprResult(0, symbol=token.text)
+            return ExprResult(resolved)
+        if token.is_punct("("):
+            self.advance()
+            inner = self._binary(0)
+            self.expect_punct(")")
+            return inner
+        raise ExpressionError(
+            f"expected expression, found {token!s}", self.location
+        )
+
+    def _apply(self, op: str, lhs: ExprResult, rhs: ExprResult) -> ExprResult:
+        # Symbolic arithmetic: only symbol +/- constant survives, because
+        # that is the only shape a relocation entry can carry.
+        if lhs.symbol is not None or rhs.symbol is not None:
+            if op == "+" and lhs.symbol is not None and rhs.symbol is None:
+                return ExprResult(lhs.value + rhs.value, lhs.symbol)
+            if op == "+" and rhs.symbol is not None and lhs.symbol is None:
+                return ExprResult(lhs.value + rhs.value, rhs.symbol)
+            if op == "-" and lhs.symbol is not None and rhs.symbol is None:
+                return ExprResult(lhs.value - rhs.value, lhs.symbol)
+            raise ExpressionError(
+                f"operator {op!r} cannot be applied to a symbolic expression "
+                "(only <symbol> + <const> and <symbol> - <const> relocate)",
+                self.location,
+            )
+        a, b = lhs.value, rhs.value
+        if op in ("/", "%") and b == 0:
+            raise ExpressionError("division by zero in expression", self.location)
+        table: dict[str, Callable[[int, int], int]] = {
+            "||": lambda x, y: int(bool(x) or bool(y)),
+            "&&": lambda x, y: int(bool(x) and bool(y)),
+            "|": lambda x, y: x | y,
+            "^": lambda x, y: x ^ y,
+            "&": lambda x, y: x & y,
+            "==": lambda x, y: int(x == y),
+            "!=": lambda x, y: int(x != y),
+            "<": lambda x, y: int(x < y),
+            ">": lambda x, y: int(x > y),
+            "<=": lambda x, y: int(x <= y),
+            ">=": lambda x, y: int(x >= y),
+            "<<": lambda x, y: x << y,
+            ">>": lambda x, y: x >> y,
+            "+": lambda x, y: x + y,
+            "-": lambda x, y: x - y,
+            "*": lambda x, y: x * y,
+            "/": lambda x, y: int(x / y) if (x < 0) != (y < 0) else x // y,
+            "%": lambda x, y: x - y * (int(x / y) if (x < 0) != (y < 0) else x // y),
+        }
+        return ExprResult(table[op](a, b))
+
+
+def evaluate(
+    tokens: list[Token],
+    resolver: Resolver,
+    location: SourceLocation,
+) -> tuple[ExprResult, int]:
+    """Evaluate an expression starting at ``tokens[0]``.
+
+    Returns the result and the number of tokens consumed, so operand
+    parsers can continue after the expression (e.g. at a ``,``).
+    """
+    parser = _Parser(tokens, resolver, location)
+    result = parser.parse()
+    return result, parser.pos
+
+
+def evaluate_all(
+    tokens: list[Token],
+    resolver: Resolver,
+    location: SourceLocation,
+) -> ExprResult:
+    """Evaluate an expression that must consume every token before EOL."""
+    result, consumed = evaluate(tokens, resolver, location)
+    if tokens[consumed].kind is not TokenKind.EOL:
+        raise ExpressionError(
+            f"unexpected trailing token {tokens[consumed]!s} after expression",
+            location,
+        )
+    return result

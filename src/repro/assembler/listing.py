@@ -1,0 +1,101 @@
+"""Listing and disassembly output.
+
+Verification teams read listings when a regression fails on a platform
+with poor visibility (the paper's accelerator/bondout targets), so the
+assembler keeps per-statement records and this module renders them, and
+can disassemble raw words back to mnemonics for trace annotation.
+"""
+
+from __future__ import annotations
+
+from repro.assembler.assembler import ListingRecord
+from repro.isa.encoding import Format, decode_word, opcode_of
+from repro.isa.instructions import lookup_opcode
+
+
+def render_listing(records: list[ListingRecord], title: str = "") -> str:
+    """Render assembler listing records as a classic columned listing."""
+    lines: list[str] = []
+    if title:
+        lines.append(f"; listing: {title}")
+    current_section: str | None = None
+    for record in records:
+        if record.section != current_section:
+            lines.append(f"; section {record.section}")
+            current_section = record.section
+        hex_bytes = record.data.hex()
+        grouped = " ".join(
+            hex_bytes[i : i + 8] for i in range(0, min(len(hex_bytes), 32), 8)
+        )
+        if len(hex_bytes) > 32:
+            grouped += " ..."
+        lines.append(f"{record.offset:08x}  {grouped:<40} {record.source}")
+    return "\n".join(lines)
+
+
+def disassemble_word(word: int, literal: int | None = None) -> str:
+    """Best-effort disassembly of one (or one-and-a-literal) word."""
+    try:
+        spec = lookup_opcode(opcode_of(word))
+    except KeyError:
+        return f".WORD {word:#010x}"
+    fields = decode_word(spec.fmt, word)
+    parts: list[str] = []
+    for kind, slot in zip(spec.operands, spec.slots):
+        if slot == "r1":
+            prefix = "d" if kind.name == "DREG" else "a"
+            parts.append(f"{prefix}{fields['r1']}")
+        elif slot == "r2":
+            prefix = "d" if kind.name == "DREG" else "a"
+            parts.append(f"{prefix}{fields['r2']}")
+        elif slot == "r3":
+            parts.append(f"d{fields['r3']}")
+        elif slot == "mem":
+            offset = fields.get("imm16", 0)
+            parts.append(f"[a{fields['r2']}+{offset:#x}]")
+        elif slot == "imm16":
+            parts.append(f"{fields['imm16']:#x}")
+        elif slot == "imm8":
+            parts.append(f"{fields['imm8']:#x}")
+        elif slot == "pos":
+            parts.append(str(fields["pos"]))
+        elif slot == "width":
+            parts.append(str(fields["width"]))
+        elif slot == "literal":
+            if kind.name == "MEMABS":
+                parts.append(
+                    f"[{literal:#010x}]" if literal is not None else "[?]"
+                )
+            else:
+                parts.append(
+                    f"{literal:#010x}" if literal is not None else "?"
+                )
+    return f"{spec.mnemonic} " + ", ".join(parts) if parts else spec.mnemonic
+
+
+def instruction_length(word: int) -> int:
+    """Number of 32-bit words this instruction occupies (1 or 2)."""
+    try:
+        spec = lookup_opcode(opcode_of(word))
+    except KeyError:
+        return 1
+    return spec.words
+
+
+def disassemble_range(words: list[int], base: int = 0) -> list[str]:
+    """Disassemble a contiguous word sequence with addresses."""
+    out: list[str] = []
+    index = 0
+    while index < len(words):
+        word = words[index]
+        length = instruction_length(word)
+        literal = (
+            words[index + 1] if length == 2 and index + 1 < len(words) else None
+        )
+        address = base + 4 * index
+        out.append(f"{address:08x}: {disassemble_word(word, literal)}")
+        index += length
+    return out
+
+
+_FORMAT_NAMES = {fmt.name: fmt for fmt in Format}

@@ -1,0 +1,199 @@
+"""Source streaming: files, ``.INCLUDE`` expansion and macro frames.
+
+The assembler consumes a :class:`SourceStream`, a stack of open frames.
+Pushing a file (the root source or an ``.INCLUDE`` target) or a macro
+expansion adds a frame; lines are drawn from the innermost frame first.
+The stream performs include-cycle detection and records every file that
+was opened — the ADVM layer later audits that record to detect tests that
+bypass the abstraction layer (the paper's Figure 2 "abuse").
+
+File access goes through a :class:`FileProvider` so the whole toolchain
+works both against the real filesystem (ADVM workspaces are real
+directory trees, Figures 3 and 5) and against in-memory sources in unit
+tests.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.assembler.errors import IncludeError, SourceLocation
+
+
+class FileProvider:
+    """Abstract source-file access used by the assembler."""
+
+    def read(self, path: str) -> str:
+        raise NotImplementedError
+
+    def resolve(self, path: str, from_dir: str | None) -> str | None:
+        """Return a canonical path for *path*, or ``None`` if not found."""
+        raise NotImplementedError
+
+
+class FilesystemProvider(FileProvider):
+    """Reads real files, searching the including file's directory first and
+    then each configured include path (the ADVM test cells link to the
+    abstraction layer through these search paths)."""
+
+    def __init__(self, include_paths: list[str] | None = None):
+        self.include_paths = [str(p) for p in (include_paths or [])]
+
+    def read(self, path: str) -> str:
+        return Path(path).read_text(encoding="utf-8")
+
+    def resolve(self, path: str, from_dir: str | None) -> str | None:
+        candidate = Path(path)
+        if candidate.is_absolute():
+            return str(candidate) if candidate.is_file() else None
+        search: list[str] = []
+        if from_dir:
+            search.append(from_dir)
+        search.extend(self.include_paths)
+        for base in search:
+            resolved = Path(base) / candidate
+            if resolved.is_file():
+                return str(resolved)
+        if candidate.is_file():
+            return str(candidate)
+        return None
+
+
+class InMemoryProvider(FileProvider):
+    """Maps virtual paths to source text; used heavily by the test suite
+    and by the ADVM constrained-random generator, which fabricates
+    ``Globals.inc`` instances without touching disk."""
+
+    def __init__(self, files: dict[str, str] | None = None):
+        self.files = dict(files or {})
+
+    def add(self, path: str, text: str) -> None:
+        self.files[path] = text
+
+    def read(self, path: str) -> str:
+        try:
+            return self.files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def resolve(self, path: str, from_dir: str | None) -> str | None:
+        if path in self.files:
+            return path
+        if from_dir:
+            joined = posixpath.normpath(posixpath.join(from_dir, path))
+            if joined in self.files:
+                return joined
+        return None
+
+
+@dataclass
+class _Frame:
+    """One open file or macro expansion."""
+
+    name: str
+    lines: list[str]
+    index: int = 0
+    #: Location of the line that opened this frame (include/invocation site).
+    opened_at: SourceLocation | None = None
+    is_file: bool = True
+
+    def exhausted(self) -> bool:
+        return self.index >= len(self.lines)
+
+
+@dataclass
+class SourceStream:
+    """Stack-based line source with include tracking."""
+
+    provider: FileProvider
+    frames: list[_Frame] = field(default_factory=list)
+    #: Files opened, in first-open order (root first).
+    opened_files: list[str] = field(default_factory=list)
+    max_depth: int = 64
+
+    def _open_files_on_stack(self) -> set[str]:
+        return {f.name for f in self.frames if f.is_file}
+
+    def push_file(
+        self, path: str, opened_at: SourceLocation | None = None
+    ) -> None:
+        from_dir = None
+        for frame in reversed(self.frames):
+            if frame.is_file:
+                from_dir = posixpath.dirname(frame.name) or str(
+                    Path(frame.name).parent
+                )
+                break
+        resolved = self.provider.resolve(path, from_dir)
+        if resolved is None:
+            raise IncludeError(
+                f"include file {path!r} not found",
+                opened_at or SourceLocation(path, 0),
+            )
+        if resolved in self._open_files_on_stack():
+            raise IncludeError(
+                f"include cycle through {resolved!r}",
+                opened_at or SourceLocation(resolved, 0),
+            )
+        if len(self.frames) >= self.max_depth:
+            raise IncludeError(
+                f"include/macro nesting deeper than {self.max_depth}",
+                opened_at or SourceLocation(resolved, 0),
+            )
+        text = self.provider.read(resolved)
+        self.frames.append(
+            _Frame(
+                name=resolved,
+                lines=text.splitlines(),
+                opened_at=opened_at,
+                is_file=True,
+            )
+        )
+        if resolved not in self.opened_files:
+            self.opened_files.append(resolved)
+
+    def push_text(
+        self,
+        name: str,
+        text: str,
+        opened_at: SourceLocation | None = None,
+        is_file: bool = True,
+    ) -> None:
+        """Push literal source text (root in-memory sources, macro bodies)."""
+        if len(self.frames) >= self.max_depth:
+            raise IncludeError(
+                f"include/macro nesting deeper than {self.max_depth}",
+                opened_at or SourceLocation(name, 0),
+            )
+        self.frames.append(
+            _Frame(
+                name=name,
+                lines=text.splitlines(),
+                opened_at=opened_at,
+                is_file=is_file,
+            )
+        )
+        if is_file and name not in self.opened_files:
+            self.opened_files.append(name)
+
+    def next_line(self) -> tuple[str, SourceLocation] | None:
+        """Pop the next source line, unwinding finished frames."""
+        while self.frames and self.frames[-1].exhausted():
+            self.frames.pop()
+        if not self.frames:
+            return None
+        frame = self.frames[-1]
+        line = frame.lines[frame.index]
+        frame.index += 1
+        location = SourceLocation(
+            filename=frame.name,
+            line=frame.index,
+            context=(
+                frame.opened_at.context + ((frame.opened_at.filename, frame.opened_at.line),)
+                if frame.opened_at is not None
+                else ()
+            ),
+        )
+        return line, location

@@ -1,0 +1,272 @@
+"""``advm`` — command-line driver for on-disk ADVM workspaces.
+
+The paper's workflow is file-based: module owners edit trees shaped like
+Figures 3/5, run regressions, cut release labels.  This CLI drives that
+workflow over a real directory tree:
+
+=============  ============================================================
+command        effect
+=============  ============================================================
+``init``       write the default Figure 5 system tree into a directory
+``validate``   structural conformance check of a system tree
+``run``        build one test cell off the tree and execute it
+``regress``    run a module (or the whole system) across targets,
+               print the verdict matrix and any divergence attribution
+``port``       measure the ADVM-vs-hardwired porting effort to a
+               derivative (the paper's headline claim, from the shell)
+``grep-plan``  search the plain-text test plans (the paper's stated
+               reason for TESTPLAN.TXT being plain text)
+``check``      run the Figure 2 abuse checker over a module environment
+=============  ============================================================
+
+Examples::
+
+    python -m repro.cli init  ./workspace
+    python -m repro.cli run   ./workspace/ADVM_System_Verification_Environment \
+                              NVM TEST_NVM_PAGE_001 --derivative sc88b
+    python -m repro.cli regress ./workspace/... NVM --targets golden,rtl
+    python -m repro.cli port --suite 6 --to sc88c
+    python -m repro.cli grep-plan ./workspace/... PAGE
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.porting import compare_nvm_port
+from repro.core.regression import RegressionRunner
+from repro.core.reporting import regression_matrix, render_table
+from repro.core.system_env import make_default_system
+from repro.core.targets import all_targets, target as lookup_target
+from repro.core.testplan import TestPlan
+from repro.core.violations import check_environment
+from repro.core.workspace import (
+    DiskBuilder,
+    SYSTEM_DIR_NAME,
+    TESTPLAN_FILE,
+    load_module_environment,
+    validate_system_tree,
+    write_system_environment,
+)
+from repro.soc.derivatives import all_derivatives, derivative as lookup_derivative
+
+
+def _system_dir(path: str) -> Path:
+    candidate = Path(path)
+    if candidate.name != SYSTEM_DIR_NAME and (
+        candidate / SYSTEM_DIR_NAME
+    ).is_dir():
+        candidate = candidate / SYSTEM_DIR_NAME
+    return candidate
+
+
+# --------------------------------------------------------------------------
+# commands
+# --------------------------------------------------------------------------
+
+def cmd_init(args: argparse.Namespace) -> int:
+    system = make_default_system(
+        nvm_tests=args.nvm_tests, uart_tests=args.uart_tests
+    )
+    system_dir = write_system_environment(system, args.directory)
+    print(f"wrote {system_dir}")
+    print(
+        f"{len(system.environments)} module environments, "
+        f"{system.total_tests} test cells"
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    issues = validate_system_tree(_system_dir(args.directory))
+    if not issues:
+        print("tree OK")
+        return 0
+    for issue in issues:
+        print(f"issue: {issue}")
+    return 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    builder = DiskBuilder(_system_dir(args.directory))
+    deriv = lookup_derivative(args.derivative)
+    tgt = lookup_target(args.target)
+    result = builder.run(args.module, args.test, deriv, tgt)
+    print(
+        f"{args.module}/{args.test} on {tgt.name}/{deriv.name}: "
+        f"{result.status.value}"
+    )
+    if result.signature is not None:
+        print(f"signature: {result.signature:#010x}")
+    print(f"instructions: {result.instructions}, cycles: {result.cycles}")
+    if result.uart_output:
+        print(f"uart: {result.uart_output!r}")
+    if result.fault_reason:
+        print(f"fault: {result.fault_reason}")
+    return 0 if result.passed else 1
+
+
+def _load_modules(system_dir: Path, module: str | None):
+    names = (
+        [module]
+        if module
+        else [
+            p.name
+            for p in sorted(system_dir.iterdir())
+            if p.is_dir() and p.name != "Global_Libraries"
+        ]
+    )
+    return {
+        name: load_module_environment(system_dir / name) for name in names
+    }
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    system_dir = _system_dir(args.directory)
+    environments = _load_modules(system_dir, args.module)
+    deriv = lookup_derivative(args.derivative)
+    targets = (
+        [lookup_target(name) for name in args.targets.split(",")]
+        if args.targets
+        else all_targets()
+    )
+    runner = RegressionRunner(targets=targets)
+    report = runner.run_system(environments, deriv)
+    print(regression_matrix(report))
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+def cmd_port(args: argparse.Namespace) -> int:
+    known = [lookup_derivative(args.base)]
+    new = lookup_derivative(args.to)
+    comparison = compare_nvm_port(args.suite, known, new)
+    print(comparison.summary())
+    return 0 if comparison.advm.all_pass else 1
+
+
+def cmd_grep_plan(args: argparse.Namespace) -> int:
+    system_dir = _system_dir(args.directory)
+    hits = 0
+    for plan_path in sorted(system_dir.glob(f"*/{TESTPLAN_FILE}")):
+        plan = TestPlan.from_text(plan_path.read_text())
+        for item in plan.grep(args.pattern):
+            print(f"{plan_path.parent.name}: {item.render()}")
+            hits += 1
+    if not hits:
+        print(f"no test plan items match {args.pattern!r}")
+    return 0 if hits else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    system_dir = _system_dir(args.directory)
+    env = load_module_environment(system_dir / args.module)
+    deriv = lookup_derivative(args.derivative)
+    tgt = lookup_target(args.target)
+    violations = check_environment(env, deriv, tgt)
+    if not violations:
+        print(f"{args.module}: no abstraction-layer violations")
+        return 0
+    for violation in violations:
+        print(f"violation: {violation}")
+    return 1
+
+
+def cmd_derivatives(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            deriv.name,
+            deriv.title,
+            f"pos={deriv.page_field_pos} width={deriv.page_field_width}",
+            f"v{deriv.es_version}",
+            deriv.description,
+        ]
+        for deriv in all_derivatives()
+    ]
+    print(
+        render_table(
+            ["name", "title", "NVM PAGE field", "firmware", "change class"],
+            rows,
+        )
+    )
+    return 0
+
+
+# --------------------------------------------------------------------------
+# argument parsing
+# --------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="advm",
+        description="drive ADVM verification workspaces (DATE 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_init = sub.add_parser("init", help="write the default system tree")
+    p_init.add_argument("directory")
+    p_init.add_argument("--nvm-tests", type=int, default=4)
+    p_init.add_argument("--uart-tests", type=int, default=3)
+    p_init.set_defaults(func=cmd_init)
+
+    p_validate = sub.add_parser("validate", help="validate a system tree")
+    p_validate.add_argument("directory")
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_run = sub.add_parser("run", help="build + run one test cell")
+    p_run.add_argument("directory")
+    p_run.add_argument("module")
+    p_run.add_argument("test")
+    p_run.add_argument("--derivative", default="sc88a")
+    p_run.add_argument("--target", default="golden")
+    p_run.set_defaults(func=cmd_run)
+
+    p_regress = sub.add_parser("regress", help="run a regression")
+    p_regress.add_argument("directory")
+    p_regress.add_argument("module", nargs="?", default=None)
+    p_regress.add_argument("--derivative", default="sc88a")
+    p_regress.add_argument(
+        "--targets", default=None, help="comma-separated target names"
+    )
+    p_regress.set_defaults(func=cmd_regress)
+
+    p_port = sub.add_parser(
+        "port", help="measure ADVM vs hardwired porting effort"
+    )
+    p_port.add_argument("--suite", type=int, default=4)
+    p_port.add_argument("--base", default="sc88a")
+    p_port.add_argument("--to", required=True)
+    p_port.set_defaults(func=cmd_port)
+
+    p_grep = sub.add_parser("grep-plan", help="search the test plans")
+    p_grep.add_argument("directory")
+    p_grep.add_argument("pattern")
+    p_grep.set_defaults(func=cmd_grep_plan)
+
+    p_check = sub.add_parser(
+        "check", help="run the Figure 2 abuse checker on a module"
+    )
+    p_check.add_argument("directory")
+    p_check.add_argument("module")
+    p_check.add_argument("--derivative", default="sc88a")
+    p_check.add_argument("--target", default="golden")
+    p_check.set_defaults(func=cmd_check)
+
+    p_derivatives = sub.add_parser(
+        "derivatives", help="list the derivative catalogue"
+    )
+    p_derivatives.set_defaults(func=cmd_derivatives)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

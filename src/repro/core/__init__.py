@@ -1,0 +1,162 @@
+"""ADVM core: the paper's methodology as an executable library.
+
+The pieces map one-to-one onto the paper's figures and claims:
+
+- :mod:`~repro.core.environment` — the three-layer module test
+  environment (Figure 1) and the shared global layer;
+- :mod:`~repro.core.defines` / :mod:`~repro.core.basefuncs` — the
+  abstraction layer generators (``Globals.inc``, ``Base_Functions.asm``,
+  Figures 6 and 7);
+- :mod:`~repro.core.violations` — the Figure 2 abuse checker;
+- :mod:`~repro.core.workspace` — the Figure 3/5 directory trees;
+- :mod:`~repro.core.system_env` — the complete environment (Figure 4);
+- :mod:`~repro.core.porting` — rapid-porting measurement (the headline
+  claim) with a hardwired baseline;
+- :mod:`~repro.core.release` — §3's frozen release labels;
+- :mod:`~repro.core.regression` — cross-platform regressions and
+  divergence attribution;
+- :mod:`~repro.core.crg` — §2's constrained-random ``Globals.inc``
+  generation;
+- :mod:`~repro.core.coverage` / :mod:`~repro.core.testplan` — what the
+  suite exercised vs what was planned.
+"""
+
+from repro.core.basefuncs import generate_base_functions
+from repro.core.coverage import CoverageCollector, CoverageReport
+from repro.core.crg import (
+    DefineConstraint,
+    RandomGlobalsGenerator,
+    RandomInstance,
+    coverage_of_campaign,
+)
+from repro.core.defines import DefineEntry, GlobalDefines
+from repro.core.environment import (
+    BuildArtifacts,
+    GlobalLayer,
+    ModuleTestEnvironment,
+    TestCell,
+)
+from repro.core.metrics import (
+    EffortReport,
+    FileDiff,
+    compare_effort,
+    diff_files,
+    loc,
+)
+from repro.core.porting import (
+    PortComparison,
+    PortOutcome,
+    compare_nvm_port,
+    make_hardwired_nvm_suite,
+    port_advm_environment,
+    port_hardwired_suite,
+)
+from repro.core.regression import (
+    Divergence,
+    RegressionReport,
+    RegressionRunner,
+    quick_regression,
+)
+from repro.core.release import (
+    EnvironmentLabel,
+    FrozenEnvironment,
+    ReleaseManager,
+    SystemLabel,
+)
+from repro.core.reporting import regression_matrix, render_table
+from repro.core.system_env import (
+    IsolationViolation,
+    SystemEnvironment,
+    make_default_system,
+)
+from repro.core.targets import (
+    ALL_TARGETS,
+    Target,
+    all_targets,
+    target,
+)
+from repro.core.testplan import PlanItem, TestPlan
+from repro.core.violations import (
+    Violation,
+    ViolationKind,
+    check_cell,
+    check_environment,
+)
+from repro.core.workloads import (
+    make_datapath_environment,
+    make_nvm_environment,
+    make_register_environment,
+    make_reginit_environment,
+    make_timer_environment,
+    make_uart_environment,
+)
+from repro.core.workspace import (
+    DiskBuilder,
+    load_module_environment,
+    validate_module_tree,
+    validate_system_tree,
+    write_module_environment,
+    write_system_environment,
+)
+
+__all__ = [
+    "ALL_TARGETS",
+    "BuildArtifacts",
+    "CoverageCollector",
+    "CoverageReport",
+    "DefineConstraint",
+    "DefineEntry",
+    "DiskBuilder",
+    "Divergence",
+    "EffortReport",
+    "EnvironmentLabel",
+    "FileDiff",
+    "FrozenEnvironment",
+    "GlobalDefines",
+    "GlobalLayer",
+    "IsolationViolation",
+    "ModuleTestEnvironment",
+    "PlanItem",
+    "PortComparison",
+    "PortOutcome",
+    "RandomGlobalsGenerator",
+    "RandomInstance",
+    "RegressionReport",
+    "RegressionRunner",
+    "ReleaseManager",
+    "SystemEnvironment",
+    "SystemLabel",
+    "Target",
+    "TestCell",
+    "TestPlan",
+    "Violation",
+    "ViolationKind",
+    "all_targets",
+    "check_cell",
+    "check_environment",
+    "compare_effort",
+    "compare_nvm_port",
+    "coverage_of_campaign",
+    "diff_files",
+    "generate_base_functions",
+    "load_module_environment",
+    "loc",
+    "make_datapath_environment",
+    "make_default_system",
+    "make_hardwired_nvm_suite",
+    "make_nvm_environment",
+    "make_register_environment",
+    "make_reginit_environment",
+    "make_timer_environment",
+    "make_uart_environment",
+    "port_advm_environment",
+    "port_hardwired_suite",
+    "quick_regression",
+    "regression_matrix",
+    "render_table",
+    "target",
+    "validate_module_tree",
+    "validate_system_tree",
+    "write_module_environment",
+    "write_system_environment",
+]

@@ -1,0 +1,145 @@
+"""Derivative comparison reports: what will this port involve?
+
+Before porting, a verification lead wants the change inventory between
+the current derivative and the new one — precisely the §4 change classes
+the abstraction layer will have to absorb.  This module computes that
+inventory mechanically from the derivative catalogue and register maps,
+and classifies each difference by where the ADVM absorbs it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.soc.derivatives import Derivative
+
+
+class AbsorbedBy(enum.Enum):
+    """Which abstraction-layer artefact soaks up a change class."""
+
+    GLOBAL_DEFINES = "Globals.inc"
+    BASE_FUNCTIONS = "Base_Functions.asm"
+
+
+@dataclass(frozen=True)
+class DerivativeChange:
+    """One difference between two derivatives."""
+
+    category: str
+    detail: str
+    absorbed_by: AbsorbedBy
+
+    def __str__(self) -> str:
+        return f"[{self.category}] {self.detail} -> {self.absorbed_by.value}"
+
+
+def compare_derivatives(
+    old: Derivative, new: Derivative
+) -> list[DerivativeChange]:
+    """Inventory of changes a port from *old* to *new* must absorb."""
+    changes: list[DerivativeChange] = []
+
+    if (old.page_field_pos, old.page_field_width) != (
+        new.page_field_pos,
+        new.page_field_width,
+    ):
+        changes.append(
+            DerivativeChange(
+                "bit-field geometry",
+                f"NVM PAGE field moves from pos={old.page_field_pos} "
+                f"width={old.page_field_width} to pos={new.page_field_pos} "
+                f"width={new.page_field_width} (Figure 6)",
+                AbsorbedBy.GLOBAL_DEFINES,
+            )
+        )
+    if old.nvm_pages != new.nvm_pages:
+        changes.append(
+            DerivativeChange(
+                "capacity",
+                f"NVM pages {old.nvm_pages} -> {new.nvm_pages}",
+                AbsorbedBy.GLOBAL_DEFINES,
+            )
+        )
+    if old.nvm_ctrl_name != new.nvm_ctrl_name:
+        changes.append(
+            DerivativeChange(
+                "register rename",
+                f"{old.nvm_ctrl_name!r} renamed to {new.nvm_ctrl_name!r} "
+                "(re-mapped to the canonical define)",
+                AbsorbedBy.GLOBAL_DEFINES,
+            )
+        )
+
+    old_map = old.register_map().all_register_addresses()
+    new_map = new.register_map().all_register_addresses()
+    moved = sorted(
+        name
+        for name in old_map
+        if name in new_map and old_map[name] != new_map[name]
+    )
+    for name in moved:
+        changes.append(
+            DerivativeChange(
+                "peripheral re-base",
+                f"{name} moves {old_map[name]:#010x} -> "
+                f"{new_map[name]:#010x}",
+                AbsorbedBy.GLOBAL_DEFINES,
+            )
+        )
+
+    if old.timer_counter_width != new.timer_counter_width:
+        changes.append(
+            DerivativeChange(
+                "counter width",
+                f"timer counter {old.timer_counter_width} -> "
+                f"{new.timer_counter_width} bits",
+                AbsorbedBy.GLOBAL_DEFINES,
+            )
+        )
+    if old.wdt_service_key != new.wdt_service_key:
+        changes.append(
+            DerivativeChange(
+                "protocol constant",
+                f"watchdog service key {old.wdt_service_key:#x} -> "
+                f"{new.wdt_service_key:#x}",
+                AbsorbedBy.GLOBAL_DEFINES,
+            )
+        )
+    if old.es_version != new.es_version:
+        old_abi, new_abi = old.es_abi, new.es_abi
+        detail = (
+            f"embedded software v{old.es_version} -> v{new.es_version}: "
+            f"{old_abi.init_register_symbol!r} -> "
+            f"{new_abi.init_register_symbol!r}, inputs "
+            f"({old_abi.init_addr_reg}, {old_abi.init_value_reg}) -> "
+            f"({new_abi.init_addr_reg}, {new_abi.init_value_reg}) "
+            "(Figure 7)"
+        )
+        changes.append(
+            DerivativeChange(
+                "firmware rewrite", detail, AbsorbedBy.BASE_FUNCTIONS
+            )
+        )
+    return changes
+
+
+def port_plan(old: Derivative, new: Derivative) -> str:
+    """Human-readable port plan (what F6/F7 will do to which file)."""
+    changes = compare_derivatives(old, new)
+    lines = [f"port plan: {old.name} -> {new.name}"]
+    if not changes:
+        lines.append("  no catalogue-level changes; port is a no-op")
+        return "\n".join(lines)
+    by_artifact: dict[AbsorbedBy, list[DerivativeChange]] = {}
+    for change in changes:
+        by_artifact.setdefault(change.absorbed_by, []).append(change)
+    for artifact, items in by_artifact.items():
+        lines.append(f"  {artifact.value}: {len(items)} change(s)")
+        for change in items:
+            lines.append(f"    - [{change.category}] {change.detail}")
+    lines.append(
+        f"  test layer: 0 changes ({len(changes)} change(s) absorbed "
+        "by the abstraction layer)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,272 @@
+"""Module test environments — Figure 1's three-layer structure as code.
+
+A :class:`ModuleTestEnvironment` owns:
+
+- the **test layer**: :class:`TestCell` sources that reference only
+  ``Globals.inc`` names and ``Base_*`` functions;
+- the **abstraction layer**: a generated ``Globals.inc``
+  (:class:`~repro.core.defines.GlobalDefines`) and ``Base_Functions.asm``
+  (:func:`~repro.core.basefuncs.generate_base_functions`), both carrying
+  per-derivative/per-target ``.IFDEF`` blocks;
+- a plain-text test plan (:class:`~repro.core.testplan.TestPlan`).
+
+The **global layer** (trap handlers, shared functions, embedded-software
+firmware) is injected by :class:`GlobalLayer` — the module environment
+never owns it, mirroring the paper's ownership rules.
+
+``build_image`` assembles one test cell for a (derivative, target) pair —
+selection happens *only* through assembler predefines, never by editing
+test sources — and links it with the abstraction and global layers into
+the one image every platform runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.assembler.assembler import Assembler
+from repro.assembler.linker import Linker, MemoryImage
+from repro.assembler.objectfile import ObjectFile
+from repro.assembler.preprocessor import InMemoryProvider
+from repro.core.basefuncs import generate_base_functions
+from repro.core.defines import GlobalDefines
+from repro.core.globals_layer import (
+    generate_global_test_functions,
+    generate_trap_handlers,
+)
+from repro.core.targets import Target, all_targets, target as lookup_target
+from repro.core.testplan import TestPlan
+from repro.platforms.base import RunResult
+from repro.soc.derivatives import Derivative, all_derivatives
+from repro.soc.embedded import assemble_embedded_software
+
+GLOBALS_FILENAME = "Globals.inc"
+BASE_FUNCTIONS_FILENAME = "Base_Functions.asm"
+TRAP_HANDLERS_FILENAME = "Trap_Handlers.asm"
+GLOBAL_FUNCTIONS_FILENAME = "Global_Test_Functions.asm"
+
+
+@dataclass
+class TestCell:
+    """One directed test (a test cell directory in Figure 3)."""
+
+    # Not a pytest class, despite the Test* name.
+    __test__ = False
+
+    name: str
+    source: str
+    description: str = ""
+    testplan_ids: tuple[str, ...] = ()
+
+    @property
+    def filename(self) -> str:
+        return f"{self.name}.asm"
+
+
+@dataclass
+class BuildArtifacts:
+    """Everything produced while building one test cell."""
+
+    image: MemoryImage
+    test_object: ObjectFile
+    base_functions_object: ObjectFile
+    global_objects: list[ObjectFile]
+
+
+class GlobalLayer:
+    """The shared, not-module-owned code: trap handlers, common
+    functions, embedded software.  One instance serves many module
+    environments (Figure 4)."""
+
+    def __init__(self, derivatives: list[Derivative] | None = None):
+        self.derivatives = list(derivatives or all_derivatives())
+        self._trap_handlers = generate_trap_handlers(self.derivatives)
+        self._global_functions = generate_global_test_functions()
+
+    @property
+    def trap_handlers_text(self) -> str:
+        return self._trap_handlers
+
+    @property
+    def global_functions_text(self) -> str:
+        return self._global_functions
+
+    def library_files(self) -> dict[str, str]:
+        return {
+            TRAP_HANDLERS_FILENAME: self._trap_handlers,
+            GLOBAL_FUNCTIONS_FILENAME: self._global_functions,
+        }
+
+    def assemble(
+        self, assembler: Assembler, derivative: Derivative
+    ) -> list[ObjectFile]:
+        objects = [
+            assembler.assemble_file(TRAP_HANDLERS_FILENAME),
+            assembler.assemble_file(GLOBAL_FUNCTIONS_FILENAME),
+            assemble_embedded_software(derivative.es_version, assembler),
+        ]
+        return objects
+
+
+class ModuleTestEnvironment:
+    """One module-level test environment (Figure 1 / Figure 3)."""
+
+    def __init__(
+        self,
+        name: str,
+        derivatives: list[Derivative] | None = None,
+        targets: list[Target] | None = None,
+        extras: dict[str, int] | None = None,
+        derivative_extras: dict[str, dict[str, int]] | None = None,
+        extra_base_functions: str = "",
+        global_layer: GlobalLayer | None = None,
+    ):
+        if not name or not name.replace("_", "").isalnum():
+            raise ValueError(f"bad environment name {name!r}")
+        if name.lower().startswith("sc88"):
+            # The paper: "Derivative specific names are not permitted as
+            # they will make the environment appear derivative specific."
+            raise ValueError(
+                f"environment name {name!r} looks derivative-specific"
+            )
+        self.name = name
+        self.derivatives = list(derivatives or all_derivatives())
+        self.targets = list(targets or all_targets())
+        self.defines = GlobalDefines(
+            module_name=name,
+            derivatives=self.derivatives,
+            targets=self.targets,
+            extras=dict(extras or {}),
+            derivative_extras={
+                k: dict(v) for k, v in (derivative_extras or {}).items()
+            },
+        )
+        self.extra_base_functions = extra_base_functions
+        self.global_layer = global_layer or GlobalLayer(self.derivatives)
+        self.cells: dict[str, TestCell] = {}
+        self.testplan = TestPlan(module=name)
+
+    # -- test layer management ----------------------------------------------
+    def add_test(self, cell: TestCell) -> None:
+        if cell.name in self.cells:
+            raise ValueError(f"duplicate test cell {cell.name!r}")
+        self.cells[cell.name] = cell
+        for plan_id in cell.testplan_ids:
+            if self.testplan.find(plan_id) is None:
+                self.testplan.add(
+                    plan_id, cell.description or cell.name, "implemented"
+                )
+            else:
+                self.testplan.mark(plan_id, "implemented")
+
+    def cell(self, name: str) -> TestCell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise KeyError(
+                f"no test cell {name!r} in environment {self.name!r}"
+            ) from None
+
+    # -- abstraction layer rendering --------------------------------------
+    def globals_text(self) -> str:
+        return self.defines.render()
+
+    def base_functions_text(self) -> str:
+        return generate_base_functions(
+            self.derivatives, self.extra_base_functions
+        )
+
+    def abstraction_files(self) -> dict[str, str]:
+        return {
+            GLOBALS_FILENAME: self.globals_text(),
+            BASE_FUNCTIONS_FILENAME: self.base_functions_text(),
+        }
+
+    # -- building ---------------------------------------------------------------
+    def _provider(self) -> InMemoryProvider:
+        files = dict(self.abstraction_files())
+        files.update(self.global_layer.library_files())
+        for cell in self.cells.values():
+            files[cell.filename] = cell.source
+        return InMemoryProvider(files)
+
+    def _predefines(
+        self, derivative: Derivative, tgt: Target
+    ) -> dict[str, int]:
+        return {derivative.predefine: 1, tgt.predefine: 1}
+
+    def assemble_cell(
+        self,
+        cell_name: str,
+        derivative: Derivative,
+        tgt: Target,
+    ) -> ObjectFile:
+        """Assemble one test cell without linking (used by the
+        violation checker, which must inspect objects that may not even
+        link cleanly)."""
+        cell = self.cell(cell_name)
+        assembler = Assembler(
+            provider=self._provider(),
+            predefines=self._predefines(derivative, tgt),
+        )
+        return assembler.assemble_file(cell.filename)
+
+    def build_image(
+        self,
+        cell_name: str,
+        derivative: Derivative,
+        tgt: Target,
+    ) -> BuildArtifacts:
+        """Assemble + link one test cell for (derivative, target)."""
+        cell = self.cell(cell_name)
+        assembler = Assembler(
+            provider=self._provider(),
+            predefines=self._predefines(derivative, tgt),
+        )
+        test_object = assembler.assemble_file(cell.filename)
+        base_functions_object = assembler.assemble_file(
+            BASE_FUNCTIONS_FILENAME
+        )
+        global_objects = self.global_layer.assemble(assembler, derivative)
+        memory_map = derivative.memory_map()
+        linker = Linker(
+            text_base=memory_map.text_base, data_base=memory_map.data_base
+        )
+        image = linker.link(
+            [test_object, base_functions_object] + global_objects
+        )
+        return BuildArtifacts(
+            image=image,
+            test_object=test_object,
+            base_functions_object=base_functions_object,
+            global_objects=global_objects,
+        )
+
+    # -- running -------------------------------------------------------------
+    def run_test(
+        self,
+        cell_name: str,
+        derivative: Derivative,
+        target_name: str = "golden",
+        platform_kwargs: dict | None = None,
+        max_instructions: int | None = None,
+    ) -> RunResult:
+        """Build and execute one test cell on one platform."""
+        tgt = lookup_target(target_name)
+        artifacts = self.build_image(cell_name, derivative, tgt)
+        platform = tgt.make_platform(**(platform_kwargs or {}))
+        kwargs = {}
+        if max_instructions is not None:
+            kwargs["max_instructions"] = max_instructions
+        return platform.run(artifacts.image, derivative, **kwargs)
+
+    def run_all(
+        self,
+        derivative: Derivative,
+        target_name: str = "golden",
+    ) -> dict[str, RunResult]:
+        """Run every test cell; returns name -> result."""
+        results = {}
+        for name in self.cells:
+            results[name] = self.run_test(name, derivative, target_name)
+        return results

@@ -1,0 +1,155 @@
+"""Calling assembler base functions from Python — the paper's §2 vision.
+
+"Furthermore, the Base Functions library could be considered as a
+library of assembler code functions that can be called or linked into
+some higher level language."
+
+:class:`BaseFunctionLibrary` realises that: it links a module
+environment's abstraction layer (plus the global layer) with a tiny
+generated thunk, places Python-supplied arguments in the architectural
+argument registers, executes the named ``Base_*`` (or any exported)
+function on a chosen platform, and hands back the result registers and
+the device state.  A higher-level testbench — Python here, Specman e or
+Perl in the paper's time — can then compose assembler primitives
+directly::
+
+    library = BaseFunctionLibrary(env, SC88A)
+    outcome = library.call("Base_NVM_Program_Page", d4=9)
+    assert outcome.regs["d2"] == 0            # NVM op succeeded
+    assert outcome.soc.nvm.operation_log == [("prog", 9)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.assembler.assembler import Assembler
+from repro.assembler.errors import LinkError
+from repro.assembler.linker import Linker
+from repro.core.environment import (
+    BASE_FUNCTIONS_FILENAME,
+    ModuleTestEnvironment,
+)
+from repro.core.targets import TARGET_GOLDEN, Target
+from repro.isa.registers import parse_register
+from repro.platforms.cpu import CpuCore
+from repro.soc.derivatives import Derivative
+from repro.soc.device import SystemOnChip
+from repro.soc.embedded import assemble_embedded_software
+
+#: Functions that report-and-halt instead of returning.
+_HALTING_FUNCTIONS = frozenset({"Base_Report_Pass", "Base_Report_Fail"})
+
+
+@dataclass
+class CallOutcome:
+    """Result of one Python -> assembler function call."""
+
+    function: str
+    regs: dict[str, int]
+    instructions: int
+    cycles: int
+    soc: SystemOnChip
+    halted: bool
+
+    def __getitem__(self, register: str) -> int:
+        return self.regs[register]
+
+
+class BaseFunctionLibrary:
+    """A module environment's function library, callable from Python."""
+
+    def __init__(
+        self,
+        env: ModuleTestEnvironment,
+        derivative: Derivative,
+        tgt: Target = TARGET_GOLDEN,
+    ):
+        self.env = env
+        self.derivative = derivative
+        self.tgt = tgt
+        self._assembler = Assembler(
+            provider=env._provider(),
+            predefines={derivative.predefine: 1, tgt.predefine: 1},
+        )
+        self._library_objects = [
+            self._assembler.assemble_file(BASE_FUNCTIONS_FILENAME),
+            self._assembler.assemble_file("Trap_Handlers.asm"),
+            self._assembler.assemble_file("Global_Test_Functions.asm"),
+            assemble_embedded_software(
+                derivative.es_version, self._assembler
+            ),
+        ]
+        self._memory_map = derivative.memory_map()
+
+    # -- introspection ------------------------------------------------------
+    def functions(self) -> list[str]:
+        """Exported entry points (Base_* first, then the rest)."""
+        names = set()
+        for obj in self._library_objects:
+            names.update(obj.symbols)
+        entries = [n for n in names if n.startswith("Base_")]
+        return sorted(entries) + sorted(names - set(entries))
+
+    # -- calling --------------------------------------------------------------
+    def call(
+        self,
+        function: str,
+        max_instructions: int = 200_000,
+        setup: dict[int, int] | None = None,
+        **registers: int,
+    ) -> CallOutcome:
+        """Invoke *function* with arguments in named registers.
+
+        ``registers`` keys are architectural names (``d4``, ``a4`` ...);
+        ``setup`` optionally pre-loads RAM words (address -> value) so
+        buffer-consuming functions have data to chew on.
+        """
+        thunk_source = f"_pycall_thunk:\n    CALL {function}\n    HALT\n"
+        thunk = self._assembler.assemble_source(thunk_source, "pycall.asm")
+        linker = Linker(
+            text_base=self._memory_map.text_base,
+            data_base=self._memory_map.data_base,
+        )
+        try:
+            image = linker.link(
+                [thunk] + self._library_objects,
+                entry_symbol="_pycall_thunk",
+            )
+        except LinkError as error:
+            raise KeyError(
+                f"no linkable function {function!r}: {error}"
+            ) from None
+
+        soc = SystemOnChip(self.derivative)
+        soc.load_image(image)
+        for address, value in (setup or {}).items():
+            soc.bus.poke_word(address, value)
+        cpu = CpuCore(soc.bus, intc=soc.intc)
+        cpu.reset(image.entry, self._memory_map.stack_top)
+        for name, value in registers.items():
+            register = parse_register(name)
+            if register is None:
+                raise ValueError(f"not a register name: {name!r}")
+            cpu.regs.write(register, value)
+
+        while not cpu.halted and cpu.instructions_retired < max_instructions:
+            consumed = cpu.step()
+            soc.tick(max(consumed, 1))
+
+        expected_halt = True
+        if not cpu.halted and function not in _HALTING_FUNCTIONS:
+            expected_halt = False
+        if not cpu.halted and expected_halt:
+            raise RuntimeError(
+                f"{function} did not return within "
+                f"{max_instructions} instructions"
+            )
+        return CallOutcome(
+            function=function,
+            regs=cpu.regs.snapshot(),
+            instructions=cpu.instructions_retired,
+            cycles=cpu.cycles,
+            soc=soc,
+            halted=cpu.halted,
+        )

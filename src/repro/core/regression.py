@@ -1,0 +1,179 @@
+"""Regression running and cross-platform divergence detection.
+
+Two paper claims live here:
+
+- §1: the same assembler suite performs functional verification of every
+  development platform — so a regression is a (cells × platforms) matrix;
+- §1/§2: when platforms disagree on a test, "a bug or issue has been
+  found in that particular simulation domain" — the runner compares every
+  platform's verdict against the golden model and attributes divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.environment import ModuleTestEnvironment
+from repro.core.targets import Target, all_targets, target as lookup_target
+from repro.platforms.base import Platform, RunResult, RunStatus
+from repro.soc.derivatives import Derivative
+
+REFERENCE_TARGET = "golden"
+
+
+@dataclass
+class Divergence:
+    """One platform disagreeing with the reference on one test."""
+
+    environment: str
+    test_name: str
+    platform: str
+    reference_status: RunStatus
+    observed_status: RunStatus
+
+    def __str__(self) -> str:
+        return (
+            f"{self.environment}/{self.test_name}: platform "
+            f"{self.platform!r} says {self.observed_status.value}, "
+            f"golden says {self.reference_status.value}"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """Everything one regression produced."""
+
+    derivative: str
+    #: (environment, test, target) -> result
+    results: dict[tuple[str, str, str], RunResult] = field(
+        default_factory=dict
+    )
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def total_runs(self) -> int:
+        return len(self.results)
+
+    @property
+    def passing_runs(self) -> int:
+        return sum(
+            1
+            for r in self.results.values()
+            if r.status in (RunStatus.PASS, RunStatus.NO_DATA)
+        )
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences and self.passing_runs == self.total_runs
+
+    def suspect_platforms(self) -> dict[str, int]:
+        """Platform -> number of divergent tests (the bug attribution)."""
+        counts: dict[str, int] = {}
+        for divergence in self.divergences:
+            counts[divergence.platform] = (
+                counts.get(divergence.platform, 0) + 1
+            )
+        return counts
+
+    def summary(self) -> str:
+        lines = [
+            f"regression on {self.derivative}: "
+            f"{self.passing_runs}/{self.total_runs} runs ok, "
+            f"{len(self.divergences)} divergence(s)"
+        ]
+        for platform, count in sorted(self.suspect_platforms().items()):
+            lines.append(
+                f"  platform {platform!r} diverges on {count} test(s) "
+                "-> suspected platform bug"
+            )
+        return "\n".join(lines)
+
+
+class RegressionRunner:
+    """Runs module environments across targets and compares verdicts."""
+
+    def __init__(
+        self,
+        targets: list[Target] | None = None,
+        platform_overrides: dict[str, Platform] | None = None,
+    ):
+        self.targets = list(targets or all_targets())
+        #: target name -> pre-built platform (lets experiments inject a
+        #: faulty gate-level simulator, C2).
+        self.platform_overrides = dict(platform_overrides or {})
+
+    def _platform_for(self, tgt: Target) -> Platform:
+        if tgt.name in self.platform_overrides:
+            return self.platform_overrides[tgt.name]
+        return tgt.make_platform()
+
+    def run_environment(
+        self,
+        env: ModuleTestEnvironment,
+        derivative: Derivative,
+    ) -> RegressionReport:
+        report = RegressionReport(derivative=derivative.name)
+        for cell_name in env.cells:
+            per_target: dict[str, RunResult] = {}
+            for tgt in self.targets:
+                artifacts = env.build_image(cell_name, derivative, tgt)
+                platform = self._platform_for(tgt)
+                result = platform.run(artifacts.image, derivative)
+                per_target[tgt.name] = result
+                report.results[(env.name, cell_name, tgt.name)] = result
+            self._detect_divergence(env.name, cell_name, per_target, report)
+        return report
+
+    def run_system(
+        self,
+        environments: dict[str, ModuleTestEnvironment],
+        derivative: Derivative,
+    ) -> RegressionReport:
+        combined = RegressionReport(derivative=derivative.name)
+        for env in environments.values():
+            partial = self.run_environment(env, derivative)
+            combined.results.update(partial.results)
+            combined.divergences.extend(partial.divergences)
+        return combined
+
+    def _detect_divergence(
+        self,
+        env_name: str,
+        cell_name: str,
+        per_target: dict[str, RunResult],
+        report: RegressionReport,
+    ) -> None:
+        if REFERENCE_TARGET not in per_target:
+            return
+        reference = per_target[REFERENCE_TARGET]
+        for target_name, result in per_target.items():
+            if target_name == REFERENCE_TARGET:
+                continue
+            # NO_DATA platforms (product silicon without pin reporting)
+            # cannot diverge — they report nothing.
+            if result.status is RunStatus.NO_DATA:
+                continue
+            if result.status is not reference.status:
+                report.divergences.append(
+                    Divergence(
+                        environment=env_name,
+                        test_name=cell_name,
+                        platform=target_name,
+                        reference_status=reference.status,
+                        observed_status=result.status,
+                    )
+                )
+
+
+def quick_regression(
+    env: ModuleTestEnvironment,
+    derivative: Derivative,
+    target_names: list[str] | None = None,
+) -> RegressionReport:
+    """Convenience: regression over named targets (default: all six)."""
+    targets = (
+        [lookup_target(n) for n in target_names]
+        if target_names
+        else None
+    )
+    return RegressionRunner(targets=targets).run_environment(env, derivative)

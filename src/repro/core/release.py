@@ -1,0 +1,194 @@
+"""Release labels and frozen regression environments — the paper's §3.
+
+The paper: *"the test environment is not stable during any development of
+the abstraction layer, unless frozen via a release label"*, and system
+regressions run against a label *"composed of sub-labels for each
+environment"* owned by a single release manager.
+
+A label here is a content-addressed snapshot of everything that affects
+a build: abstraction-layer text, test-cell sources, test plan and the
+global-layer libraries.  A frozen environment rebuilds **only** from its
+snapshot, so later mutations of the live environment cannot leak into a
+running regression (experiment C7 demonstrates exactly that).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.environment import (
+    BASE_FUNCTIONS_FILENAME,
+    GLOBALS_FILENAME,
+    GlobalLayer,
+    ModuleTestEnvironment,
+    TestCell,
+)
+from repro.core.testplan import TestPlan
+
+
+def _digest(files: dict[str, str]) -> str:
+    hasher = hashlib.sha256()
+    for name in sorted(files):
+        hasher.update(name.encode())
+        hasher.update(b"\0")
+        hasher.update(files[name].encode())
+        hasher.update(b"\0")
+    return hasher.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class EnvironmentLabel:
+    """One released module environment: name + content snapshot."""
+
+    label: str
+    environment_name: str
+    files: dict[str, str]
+    digest: str
+
+    def __str__(self) -> str:
+        return f"{self.label} ({self.environment_name}@{self.digest})"
+
+
+@dataclass(frozen=True)
+class SystemLabel:
+    """A system release: one sub-label per module environment."""
+
+    label: str
+    sublabels: dict[str, str]  # environment name -> label name
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{env}={lab}" for env, lab in sorted(self.sublabels.items())
+        )
+        return f"{self.label}[{parts}]"
+
+
+class FrozenEnvironment:
+    """A read-only environment rebuilt from a label snapshot.
+
+    It bypasses the live generators entirely: ``globals_text`` /
+    ``base_functions_text`` return the snapshot verbatim, so the build is
+    bit-identical no matter what happened to the live environment since
+    the release.
+    """
+
+    def __init__(self, label: EnvironmentLabel, live: ModuleTestEnvironment):
+        self._label = label
+        # Clone structure from the live environment but serve file content
+        # from the snapshot.
+        self._env = ModuleTestEnvironment(
+            live.name,
+            derivatives=live.derivatives,
+            targets=live.targets,
+            global_layer=GlobalLayer(live.derivatives),
+        )
+        snapshot = label.files
+        for name, text in snapshot.items():
+            if name.startswith("cell:"):
+                cell_name = name[len("cell:"):]
+                self._env.cells[cell_name] = TestCell(
+                    name=cell_name, source=text
+                )
+        self._globals_text = snapshot[GLOBALS_FILENAME]
+        self._base_functions_text = snapshot[BASE_FUNCTIONS_FILENAME]
+        if "TESTPLAN.TXT" in snapshot:
+            self._env.testplan = TestPlan.from_text(
+                snapshot["TESTPLAN.TXT"], module=live.name
+            )
+        # Override the generated abstraction layer with the frozen text.
+        self._env.globals_text = lambda: self._globals_text  # type: ignore
+        self._env.base_functions_text = (  # type: ignore
+            lambda: self._base_functions_text
+        )
+
+    @property
+    def label(self) -> EnvironmentLabel:
+        return self._label
+
+    @property
+    def environment(self) -> ModuleTestEnvironment:
+        return self._env
+
+    def run_all(self, derivative, target_name: str = "golden"):
+        return self._env.run_all(derivative, target_name)
+
+    def run_test(self, cell_name, derivative, target_name: str = "golden"):
+        return self._env.run_test(cell_name, derivative, target_name)
+
+
+class ReleaseManager:
+    """The single owner of releases (§3: "a single person responsible")."""
+
+    def __init__(self) -> None:
+        self.environment_labels: dict[str, EnvironmentLabel] = {}
+        self.system_labels: dict[str, SystemLabel] = {}
+        self._live: dict[str, ModuleTestEnvironment] = {}
+
+    # -- module-level releases ------------------------------------------------
+    def snapshot_files(self, env: ModuleTestEnvironment) -> dict[str, str]:
+        files = {
+            GLOBALS_FILENAME: env.globals_text(),
+            BASE_FUNCTIONS_FILENAME: env.base_functions_text(),
+            "TESTPLAN.TXT": env.testplan.to_text(),
+        }
+        for cell in env.cells.values():
+            files[f"cell:{cell.name}"] = cell.source
+        return files
+
+    def create_label(
+        self, label: str, env: ModuleTestEnvironment
+    ) -> EnvironmentLabel:
+        if label in self.environment_labels:
+            raise ValueError(f"label {label!r} already exists")
+        files = self.snapshot_files(env)
+        release = EnvironmentLabel(
+            label=label,
+            environment_name=env.name,
+            files=files,
+            digest=_digest(files),
+        )
+        self.environment_labels[label] = release
+        self._live[label] = env
+        return release
+
+    def frozen(self, label: str) -> FrozenEnvironment:
+        try:
+            release = self.environment_labels[label]
+        except KeyError:
+            raise KeyError(f"no label {label!r}") from None
+        return FrozenEnvironment(release, self._live[label])
+
+    def is_dirty(self, label: str) -> bool:
+        """Has the live environment drifted from the released snapshot?"""
+        release = self.environment_labels[label]
+        live = self._live[label]
+        return _digest(self.snapshot_files(live)) != release.digest
+
+    # -- system-level releases -------------------------------------------------
+    def compose_system_label(
+        self, label: str, sublabels: dict[str, str]
+    ) -> SystemLabel:
+        if label in self.system_labels:
+            raise ValueError(f"system label {label!r} already exists")
+        for env_name, env_label in sublabels.items():
+            if env_label not in self.environment_labels:
+                raise KeyError(
+                    f"system label references unknown label {env_label!r}"
+                )
+            release = self.environment_labels[env_label]
+            if release.environment_name != env_name:
+                raise ValueError(
+                    f"label {env_label!r} belongs to "
+                    f"{release.environment_name!r}, not {env_name!r}"
+                )
+        system = SystemLabel(label=label, sublabels=dict(sublabels))
+        self.system_labels[label] = system
+        return system
+
+    def frozen_system(self, label: str) -> dict[str, FrozenEnvironment]:
+        system = self.system_labels[label]
+        return {
+            env_name: self.frozen(env_label)
+            for env_name, env_label in system.sublabels.items()
+        }

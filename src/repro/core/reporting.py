@@ -1,0 +1,41 @@
+"""Plain-text report rendering for regressions and benchmarks."""
+
+from __future__ import annotations
+
+from repro.core.regression import RegressionReport
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells: list[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ).rstrip()
+    lines = [render_row(headers)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def regression_matrix(report: RegressionReport) -> str:
+    """Render the (test × platform) verdict matrix of a regression."""
+    tests: list[tuple[str, str]] = []
+    platforms: list[str] = []
+    for env_name, test_name, platform_name in report.results:
+        if (env_name, test_name) not in tests:
+            tests.append((env_name, test_name))
+        if platform_name not in platforms:
+            platforms.append(platform_name)
+    headers = ["test"] + platforms
+    rows = []
+    for env_name, test_name in tests:
+        row = [f"{env_name}/{test_name}"]
+        for platform_name in platforms:
+            result = report.results.get((env_name, test_name, platform_name))
+            row.append(result.status.value if result else "-")
+        rows.append(row)
+    return render_table(headers, rows)

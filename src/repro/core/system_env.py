@@ -1,0 +1,181 @@
+"""The complete (system-level) test environment — Figures 4 and 5.
+
+A :class:`SystemEnvironment` is multiple module test environments over
+one **shared global layer**.  The paper's isolation rule: *"Each test
+environment is isolated from any other and the only way for code to be
+shared is via the globals layer."*  :meth:`check_isolation` enforces it
+mechanically: no module environment's cells or abstraction layer may
+reference another module's symbols or defines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.environment import GlobalLayer, ModuleTestEnvironment
+from repro.core.targets import Target, all_targets
+from repro.platforms.base import RunResult
+from repro.soc.derivatives import Derivative, all_derivatives
+
+
+@dataclass
+class IsolationViolation:
+    """A module environment reaching into another module environment."""
+
+    offending_env: str
+    test_name: str
+    referenced_env: str
+    symbol: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.offending_env}/{self.test_name} references "
+            f"{self.symbol!r} owned by environment {self.referenced_env!r}"
+        )
+
+
+class SystemEnvironment:
+    """The master environment directory of Figure 5."""
+
+    def __init__(
+        self,
+        name: str = "ADVM_System_Verification_Environment",
+        derivatives: list[Derivative] | None = None,
+        targets: list[Target] | None = None,
+    ):
+        self.name = name
+        self.derivatives = list(derivatives or all_derivatives())
+        self.targets = list(targets or all_targets())
+        self.global_layer = GlobalLayer(self.derivatives)
+        self.environments: dict[str, ModuleTestEnvironment] = {}
+
+    def add_environment(self, env: ModuleTestEnvironment) -> None:
+        if env.name in self.environments:
+            raise ValueError(f"duplicate environment {env.name!r}")
+        # Re-home the environment onto the shared global layer, so all
+        # modules link the same firmware/trap handlers (Figure 4).
+        env.global_layer = self.global_layer
+        self.environments[env.name] = env
+
+    def environment(self, name: str) -> ModuleTestEnvironment:
+        try:
+            return self.environments[name]
+        except KeyError:
+            raise KeyError(f"no environment {name!r} in {self.name}") from None
+
+    # -- isolation rule (Figure 4) ---------------------------------------
+    def check_isolation(self) -> list[IsolationViolation]:
+        """Cells may use their own environment's extras/base functions and
+        the global layer — never another environment's."""
+        violations: list[IsolationViolation] = []
+        extras_by_env = {
+            name: set(env.defines.extras)
+            | {
+                extra
+                for table in env.defines.derivative_extras.values()
+                for extra in table
+            }
+            for name, env in self.environments.items()
+        }
+        for name, env in self.environments.items():
+            foreign = {
+                other: extras
+                for other, extras in extras_by_env.items()
+                if other != name
+            }
+            own_extras = extras_by_env[name]
+            for cell in env.cells.values():
+                for other, extras in foreign.items():
+                    for symbol in extras - own_extras:
+                        if symbol and symbol in cell.source:
+                            violations.append(
+                                IsolationViolation(
+                                    offending_env=name,
+                                    test_name=cell.name,
+                                    referenced_env=other,
+                                    symbol=symbol,
+                                )
+                            )
+        return violations
+
+    # -- regressions ------------------------------------------------------
+    def run_all(
+        self,
+        derivative: Derivative,
+        target_name: str = "golden",
+    ) -> dict[str, dict[str, RunResult]]:
+        """Run every cell of every environment; env -> cell -> result."""
+        results: dict[str, dict[str, RunResult]] = {}
+        for name, env in self.environments.items():
+            results[name] = env.run_all(derivative, target_name)
+        return results
+
+    @property
+    def total_tests(self) -> int:
+        return sum(len(env.cells) for env in self.environments.values())
+
+
+def make_default_system(
+    derivatives: list[Derivative] | None = None,
+    targets: list[Target] | None = None,
+    nvm_tests: int = 4,
+    uart_tests: int = 3,
+) -> SystemEnvironment:
+    """The reproduction's default Figure 5 system: NVM + UART + timer +
+    register + data-path module environments over one global layer."""
+    from repro.core.workloads import (
+        make_datapath_environment,
+        make_nvm_environment,
+        make_register_environment,
+        make_reginit_environment,
+        make_timer_environment,
+        make_uart_environment,
+    )
+
+    system = SystemEnvironment(derivatives=derivatives, targets=targets)
+    layer = system.global_layer
+    system.add_environment(
+        make_nvm_environment(
+            nvm_tests,
+            derivatives=system.derivatives,
+            targets=system.targets,
+            global_layer=layer,
+        )
+    )
+    system.add_environment(
+        make_uart_environment(
+            uart_tests,
+            derivatives=system.derivatives,
+            targets=system.targets,
+            global_layer=layer,
+        )
+    )
+    system.add_environment(
+        make_timer_environment(
+            derivatives=system.derivatives,
+            targets=system.targets,
+            global_layer=layer,
+        )
+    )
+    system.add_environment(
+        make_reginit_environment(
+            derivatives=system.derivatives,
+            targets=system.targets,
+            global_layer=layer,
+        )
+    )
+    system.add_environment(
+        make_register_environment(
+            derivatives=system.derivatives,
+            targets=system.targets,
+            global_layer=layer,
+        )
+    )
+    system.add_environment(
+        make_datapath_environment(
+            derivatives=system.derivatives,
+            targets=system.targets,
+            global_layer=layer,
+        )
+    )
+    return system

@@ -1,0 +1,127 @@
+"""Instruction-trace comparison: debugging a platform divergence.
+
+When the regression layer attributes a divergence to a platform (C2),
+the next engineering step on platforms with waveform visibility is to
+find *where* execution forked.  This module runs the same image on two
+platforms with tracing enabled and reports the first architectural
+divergence point: the PC where the instruction streams part ways, with
+disassembled context.
+
+Only trace-capable platforms (golden, RTL, gate level) participate —
+exactly the visibility split the paper's platform list implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.assembler.linker import MemoryImage
+from repro.platforms.base import Platform
+from repro.platforms.cpu import TraceEntry
+from repro.soc.derivatives import Derivative
+
+
+@dataclass(frozen=True)
+class DivergencePoint:
+    """First index where two instruction traces disagree."""
+
+    index: int
+    reference_entry: TraceEntry | None
+    subject_entry: TraceEntry | None
+
+    def describe(self) -> str:
+        def fmt(entry: TraceEntry | None) -> str:
+            if entry is None:
+                return "<trace ended>"
+            return f"pc={entry.pc:#010x} {entry.mnemonic}"
+
+        return (
+            f"traces diverge at instruction #{self.index}: "
+            f"reference {fmt(self.reference_entry)} vs "
+            f"subject {fmt(self.subject_entry)}"
+        )
+
+
+@dataclass
+class TraceComparison:
+    """Outcome of comparing a subject platform against the reference."""
+
+    reference_platform: str
+    subject_platform: str
+    reference_trace: list[TraceEntry]
+    subject_trace: list[TraceEntry]
+    divergence: DivergencePoint | None
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def context(self, window: int = 3) -> list[str]:
+        """Disassembled context around the divergence point."""
+        if self.divergence is None:
+            return []
+        start = max(0, self.divergence.index - window)
+        lines = []
+        for index in range(start, self.divergence.index + 1):
+            ref = (
+                self.reference_trace[index]
+                if index < len(self.reference_trace)
+                else None
+            )
+            sub = (
+                self.subject_trace[index]
+                if index < len(self.subject_trace)
+                else None
+            )
+            ref_text = (
+                f"{ref.pc:#010x} {ref.mnemonic}" if ref else "<ended>"
+            )
+            sub_text = (
+                f"{sub.pc:#010x} {sub.mnemonic}" if sub else "<ended>"
+            )
+            marker = "  <-- fork" if index == self.divergence.index else ""
+            lines.append(f"#{index:5d}  {ref_text:<28} | {sub_text}{marker}")
+        return lines
+
+
+def _first_divergence(
+    reference: list[TraceEntry], subject: list[TraceEntry]
+) -> DivergencePoint | None:
+    for index in range(max(len(reference), len(subject))):
+        ref = reference[index] if index < len(reference) else None
+        sub = subject[index] if index < len(subject) else None
+        if ref is None or sub is None:
+            return DivergencePoint(index, ref, sub)
+        if (ref.pc, ref.opcode) != (sub.pc, sub.opcode):
+            return DivergencePoint(index, ref, sub)
+    return None
+
+
+def compare_traces(
+    image: MemoryImage,
+    derivative: Derivative,
+    reference: Platform,
+    subject: Platform,
+    max_instructions: int = 200_000,
+) -> TraceComparison:
+    """Run *image* on both platforms and locate the first fork.
+
+    Raises :class:`ValueError` when either platform lacks trace
+    visibility — the caller should fall back to end-state comparison.
+    """
+    for platform in (reference, subject):
+        if not platform.sees_trace:
+            raise ValueError(
+                f"platform {platform.name!r} has no trace visibility"
+            )
+    reference.run(image, derivative, max_instructions=max_instructions)
+    subject.run(image, derivative, max_instructions=max_instructions)
+    reference_trace = list(reference.last_cpu.trace or [])
+    subject_trace = list(subject.last_cpu.trace or [])
+    return TraceComparison(
+        reference_platform=reference.name,
+        subject_platform=subject.name,
+        reference_trace=reference_trace,
+        subject_trace=subject_trace,
+        divergence=_first_divergence(reference_trace, subject_trace),
+    )

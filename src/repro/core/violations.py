@@ -1,0 +1,145 @@
+"""Abstraction-layer violation checking — the paper's Figure 2.
+
+Figure 2 shows the "abuse" of the module test environment: tests linking
+global-layer code directly instead of going through the abstraction
+layer.  The paper warns that doing so forfeits all protection from
+change.  This checker detects the abuse mechanically, from three
+evidence sources:
+
+1. **include records** — the assembler logs every ``.INCLUDE``; a test
+   pulling in anything other than its abstraction layer is flagged;
+2. **unresolved externals** — a test object whose externs name
+   global-layer entry points (``ES_*``, ``Global_*``) bypassed the
+   ``Base_*`` wrappers;
+3. **hardwired values** — source literals that match special-function-
+   register addresses or derivative-specific field geometry, the
+   "previously used a hardwired value" smell the Globals.inc exists to
+   remove.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.assembler.objectfile import ObjectFile
+from repro.core.environment import (
+    BASE_FUNCTIONS_FILENAME,
+    GLOBALS_FILENAME,
+    ModuleTestEnvironment,
+)
+from repro.core.targets import Target
+from repro.soc.derivatives import Derivative
+
+#: Symbol prefixes owned by the global layer (never callable from tests).
+GLOBAL_LAYER_PREFIXES = ("ES_", "Global_", "GL_")
+#: Symbol prefixes the abstraction layer exports to tests.
+ABSTRACTION_PREFIXES = ("Base_",)
+
+SFR_BASE = 0xF000_0000
+SFR_END = 0xF001_0000
+
+
+class ViolationKind(enum.Enum):
+    DIRECT_INCLUDE = "direct global-layer include"
+    DIRECT_CALL = "direct global-layer call"
+    HARDWIRED_ADDRESS = "hardwired SFR address"
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: ViolationKind
+    test_name: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.test_name}: {self.kind.value}: {self.detail}"
+
+
+#: Files a test cell is allowed to include (its abstraction layer).
+ALLOWED_INCLUDES = frozenset({GLOBALS_FILENAME})
+
+
+def check_includes(
+    test_name: str, test_object: ObjectFile
+) -> list[Violation]:
+    """Rule 1: tests include only their abstraction layer."""
+    violations = []
+    # First entry is the test source itself.
+    for included in test_object.included_files[1:]:
+        short = included.rsplit("/", 1)[-1]
+        if short not in ALLOWED_INCLUDES:
+            violations.append(
+                Violation(
+                    ViolationKind.DIRECT_INCLUDE,
+                    test_name,
+                    f"includes {included!r} (allowed: "
+                    f"{sorted(ALLOWED_INCLUDES)})",
+                )
+            )
+    return violations
+
+
+def check_externs(test_name: str, test_object: ObjectFile) -> list[Violation]:
+    """Rule 2: unresolved externals must be Base_* wrappers."""
+    violations = []
+    for symbol in sorted(test_object.undefined_symbols()):
+        if symbol.startswith(ABSTRACTION_PREFIXES):
+            continue
+        if symbol.startswith(GLOBAL_LAYER_PREFIXES):
+            violations.append(
+                Violation(
+                    ViolationKind.DIRECT_CALL,
+                    test_name,
+                    f"references global-layer symbol {symbol!r} directly "
+                    "(wrap it in Base_Functions instead)",
+                )
+            )
+    return violations
+
+
+_HEX_LITERAL = re.compile(r"0[xX][0-9a-fA-F_]+")
+
+
+def check_hardwired_addresses(test_name: str, source: str) -> list[Violation]:
+    """Rule 3: no literal SFR addresses in test sources."""
+    violations = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        code = line.split(";")[0]
+        for match in _HEX_LITERAL.finditer(code):
+            value = int(match.group(0).replace("_", ""), 16)
+            if SFR_BASE <= value < SFR_END:
+                violations.append(
+                    Violation(
+                        ViolationKind.HARDWIRED_ADDRESS,
+                        test_name,
+                        f"line {line_number}: literal {match.group(0)} is an "
+                        "SFR address; use a Globals.inc define",
+                    )
+                )
+    return violations
+
+
+def check_cell(
+    test_name: str, source: str, test_object: ObjectFile
+) -> list[Violation]:
+    """All rules for one assembled test cell."""
+    return (
+        check_includes(test_name, test_object)
+        + check_externs(test_name, test_object)
+        + check_hardwired_addresses(test_name, source)
+    )
+
+
+def check_environment(
+    env: ModuleTestEnvironment,
+    derivative: Derivative,
+    tgt: Target,
+) -> list[Violation]:
+    """Assemble every cell of *env* and run all checks."""
+    violations: list[Violation] = []
+    for cell in env.cells.values():
+        test_object = env.assemble_cell(cell.name, derivative, tgt)
+        violations.extend(check_cell(cell.name, cell.source, test_object))
+    return violations

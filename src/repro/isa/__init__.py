@@ -1,0 +1,67 @@
+"""SC88 instruction-set architecture.
+
+The SC88 is a small 32-bit chip-card microcontroller core modelled on the
+class of device the ADVM paper targets (the Infineon SLE88 family).  It
+provides:
+
+- sixteen 32-bit data registers ``d0``-``d15``,
+- sixteen 32-bit address registers ``a0``-``a15`` (``a15`` is the stack
+  pointer by convention),
+- a program counter and a processor status word with C/Z/N/V flags and an
+  interrupt-enable bit,
+- a compact instruction set including the bit-field ``INSERT``/``EXTR``
+  operations the paper's Figure 6 uses and the ``LOAD``/``STORE``/``CALL``/
+  ``RETURN`` forms of Figure 7.
+
+Submodules
+----------
+``registers``
+    Register file model, register name parsing, and the PSW.
+``encoding``
+    Instruction word formats and field packing/unpacking.
+``instructions``
+    The opcode table: one :class:`~repro.isa.instructions.InstructionSpec`
+    per machine operation, plus mnemonic lookup helpers.
+"""
+
+from repro.isa.registers import (
+    AddressRegister,
+    DataRegister,
+    ProcessorStatusWord,
+    Register,
+    RegisterClass,
+    RegisterFile,
+    parse_register,
+)
+from repro.isa.encoding import (
+    Format,
+    decode_word,
+    encode_word,
+    field_mask,
+)
+from repro.isa.instructions import (
+    InstructionSpec,
+    Opcode,
+    OPCODE_TABLE,
+    lookup_opcode,
+    mnemonics,
+)
+
+__all__ = [
+    "AddressRegister",
+    "DataRegister",
+    "Format",
+    "InstructionSpec",
+    "Opcode",
+    "OPCODE_TABLE",
+    "ProcessorStatusWord",
+    "Register",
+    "RegisterClass",
+    "RegisterFile",
+    "decode_word",
+    "encode_word",
+    "field_mask",
+    "lookup_opcode",
+    "mnemonics",
+    "parse_register",
+]

@@ -1,0 +1,22 @@
+"""Hardware-accelerator / emulator platform (Quickturn, IKOS era).
+
+Fast (near-functional speed) but with poor runtime visibility: no
+register or trace access while running; after the run the host can dump
+memory, so the verdict comes from the RAM result word, and UART output is
+captured by the emulation host's pod.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import Platform
+
+
+class Accelerator(Platform):
+    name = "accelerator"
+    description = "hardware emulator used for firmware sign-off"
+    sees_registers = False
+    sees_memory = True
+    sees_uart = True
+    sees_trace = False
+    cycle_accurate = False
+    relative_speed = 0.1

@@ -1,0 +1,210 @@
+"""Execution-platform interface.
+
+The paper lists six development platforms that all run the same compiled
+test code: golden reference model, HDL-RTL simulation, gate-level
+simulation, hardware accelerator, bondout silicon and product silicon.
+Each platform here implements :class:`Platform` and differs along the
+axes real platforms differ:
+
+=================  ========  ==========  =========================
+platform           timing    visibility  special
+=================  ========  ==========  =========================
+golden model       instr     full        reference semantics
+rtl                cycles    full        wait states, traces
+gate level         cycles    full        slow factor, fault inject
+accelerator        instr     memory      no register/trace access
+bondout            instr     debug port  post-run register reads
+product silicon    instr     pins only   pass/fail via GPIO + UART
+=================  ========  ==========  =========================
+
+A :class:`RunResult` carries only what the platform can legitimately
+observe — the regression layer treats missing observability as "no data",
+exactly as a real lab bring-up would.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.assembler.linker import MemoryImage
+from repro.platforms.cpu import CpuCore, CpuFault, TraceEntry
+from repro.soc.derivatives import Derivative
+from repro.soc.device import FAIL_MAGIC, PASS_MAGIC, SystemOnChip
+
+DEFAULT_MAX_INSTRUCTIONS = 1_000_000
+
+
+class RunStatus(enum.Enum):
+    PASS = "pass"
+    FAIL = "fail"
+    TIMEOUT = "timeout"
+    FAULT = "fault"
+    WATCHDOG = "watchdog-reset"
+    NO_DATA = "no-data"  # platform cannot observe a verdict source
+
+
+@dataclass
+class RunResult:
+    """Outcome of one test image on one platform."""
+
+    platform: str
+    derivative: str
+    status: RunStatus
+    instructions: int = 0
+    cycles: int = 0
+    #: d0 signature, where register visibility exists.
+    signature: int | None = None
+    #: RAM result word, where memory visibility exists.
+    result_word: int | None = None
+    uart_output: str | None = None
+    done_pin: int | None = None
+    pass_pin: int | None = None
+    fault_reason: str | None = None
+    trace: list[TraceEntry] | None = None
+    #: Register snapshot, where a debug port exists.
+    registers: dict[str, int] | None = None
+
+    @property
+    def passed(self) -> bool:
+        return self.status is RunStatus.PASS
+
+    def verdict_key(self) -> tuple:
+        """The cross-platform comparison key used by divergence checks:
+        only fields every platform can report."""
+        return (self.status.value,)
+
+
+class Platform(ABC):
+    """One execution platform.
+
+    Each ``run`` call builds a fresh device; the previous run's device and
+    core remain inspectable via :attr:`last_soc` / :attr:`last_cpu` (the
+    software equivalent of walking up to the bench after the test), which
+    the functional-coverage collector uses on platforms with visibility.
+    """
+
+    name: str = "platform"
+    description: str = ""
+    #: Visibility axes (drive what RunResult fields get populated).
+    sees_registers: bool = True
+    sees_memory: bool = True
+    sees_uart: bool = True
+    sees_trace: bool = False
+    #: Timing fidelity: charge bus wait states cycle-accurately.
+    cycle_accurate: bool = False
+    #: Relative wall-clock cost of simulating one instruction (the paper's
+    #: platforms span orders of magnitude; benches report this).
+    relative_speed: float = 1.0
+    #: When True, ``run`` records every bus access into
+    #: :attr:`last_bus_trace` (coverage collection; costs time).
+    record_bus_trace: bool = False
+
+    last_soc: SystemOnChip | None = None
+    last_cpu: CpuCore | None = None
+    last_bus_trace: list | None = None
+
+    def build_soc(self, derivative: Derivative) -> SystemOnChip:
+        return SystemOnChip(derivative)
+
+    def configure_cpu(self, cpu: CpuCore, soc: SystemOnChip) -> None:
+        """Hook for subclasses (fault injection, tracing)."""
+
+    def run(
+        self,
+        image: MemoryImage,
+        derivative: Derivative,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        entry_symbol: str = "_main",
+    ) -> RunResult:
+        """Load *image* into a fresh device and execute until HALT."""
+        soc = self.build_soc(derivative)
+        soc.load_image(image)
+        trace: list | None = None
+        if self.record_bus_trace:
+            trace = []
+            soc.bus.trace_hooks.append(trace.append)
+        cpu = CpuCore(
+            soc.bus,
+            intc=soc.intc,
+            charge_wait_states=self.cycle_accurate,
+        )
+        if self.sees_trace:
+            cpu.enable_trace()
+        self.configure_cpu(cpu, soc)
+        entry = image.entry
+        if entry is None:
+            entry = image.symbol(entry_symbol)
+        cpu.reset(entry, soc.memory_map.stack_top)
+
+        fault_reason: str | None = None
+        status: RunStatus
+        try:
+            while not cpu.halted:
+                if cpu.instructions_retired >= max_instructions:
+                    break
+                consumed = cpu.step()
+                soc.tick(max(consumed, 1))
+                if soc.watchdog_expired:
+                    break
+        except CpuFault as fault:
+            fault_reason = str(fault)
+
+        self.last_soc = soc
+        self.last_cpu = cpu
+        self.last_bus_trace = trace
+
+        if fault_reason is not None:
+            status = RunStatus.FAULT
+        elif soc.watchdog_expired:
+            status = RunStatus.WATCHDOG
+        elif not cpu.halted:
+            status = RunStatus.TIMEOUT
+        else:
+            status = self.judge(cpu, soc)
+
+        return self.collect(cpu, soc, derivative, status, fault_reason)
+
+    # -- overridable observation points -----------------------------------
+    def judge(self, cpu: CpuCore, soc: SystemOnChip) -> RunStatus:
+        """Derive the verdict from what this platform can see."""
+        if self.sees_registers:
+            signature = cpu.regs.data[0]
+        elif self.sees_memory:
+            signature = soc.result_word()
+        else:
+            if soc.done_pin():
+                return (
+                    RunStatus.PASS if soc.pass_pin() else RunStatus.FAIL
+                )
+            return RunStatus.NO_DATA
+        if signature == PASS_MAGIC:
+            return RunStatus.PASS
+        if signature == FAIL_MAGIC:
+            return RunStatus.FAIL
+        return RunStatus.FAIL
+
+    def collect(
+        self,
+        cpu: CpuCore,
+        soc: SystemOnChip,
+        derivative: Derivative,
+        status: RunStatus,
+        fault_reason: str | None,
+    ) -> RunResult:
+        return RunResult(
+            platform=self.name,
+            derivative=derivative.name,
+            status=status,
+            instructions=cpu.instructions_retired,
+            cycles=cpu.cycles,
+            signature=cpu.regs.data[0] if self.sees_registers else None,
+            result_word=soc.result_word() if self.sees_memory else None,
+            uart_output=soc.uart_output() if self.sees_uart else None,
+            done_pin=soc.done_pin(),
+            pass_pin=soc.pass_pin(),
+            fault_reason=fault_reason,
+            trace=cpu.trace if self.sees_trace else None,
+            registers=cpu.regs.snapshot() if self.sees_registers else None,
+        )

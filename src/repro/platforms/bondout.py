@@ -1,0 +1,21 @@
+"""Bondout silicon platform.
+
+Silicon-speed software development part with extra debugging hardware: a
+debug port allows post-run register and memory reads, but there is no
+instruction trace.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import Platform
+
+
+class Bondout(Platform):
+    name = "bondout"
+    description = "bondout silicon with hardware debug port"
+    sees_registers = True
+    sees_memory = True
+    sees_uart = True
+    sees_trace = False
+    cycle_accurate = False
+    relative_speed = 10.0

@@ -1,0 +1,558 @@
+"""SC88 CPU core: the shared instruction executor.
+
+Every execution platform — golden model, RTL, gate level, accelerator,
+bondout, product silicon — runs this same core, because the paper's
+premise is that one assembler test suite executes identically across all
+platforms; platforms differ in *timing*, *visibility* and *fidelity*
+(fault injection), not in instruction semantics.
+
+Timing model: each instruction has a base cycle cost; bus wait states are
+added on top when the platform enables them (``charge_wait_states``).
+Functional platforms run with zero wait states; the cycle-accurate "RTL"
+and "gate-level" platforms charge them.
+
+Trap model: vectors live at the bottom of ROM, one 32-bit handler address
+per vector.  Trap entry pushes the return PC then the PSW and clears the
+interrupt-enable bit; ``RETI`` unwinds in reverse.  A trap whose vector
+is zero is *unhandled* and raises :class:`CpuFault`, ending the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.isa.encoding import decode_word, opcode_of, sign_extend_16
+from repro.isa.instructions import Opcode, lookup_opcode
+from repro.isa.registers import RegisterFile, WORD_MASK
+from repro.soc.bus import Bus, BusError
+from repro.soc.memorymap import (
+    IRQ_VECTOR_BASE,
+    TRAP_BUS_ERROR,
+    TRAP_DIV_ZERO,
+    TRAP_ILLEGAL_OPCODE,
+    TRAP_MISALIGNED,
+    VECTOR_BASE,
+    VECTOR_COUNT,
+)
+from repro.soc.peripherals.intc import InterruptController
+
+
+class CpuFault(Exception):
+    """Unrecoverable CPU condition (unhandled trap, bad vector)."""
+
+    def __init__(self, reason: str, pc: int):
+        super().__init__(f"{reason} at pc={pc:#010x}")
+        self.reason = reason
+        self.pc = pc
+
+
+@dataclass
+class TraceEntry:
+    """One retired instruction, for platforms with waveform visibility."""
+
+    pc: int
+    opcode: int
+    mnemonic: str
+    cycles: int
+
+
+#: Base cycle cost per opcode (before wait states).
+_BASE_CYCLES: dict[int, int] = {}
+
+
+def _cycles_for(opcode: Opcode) -> int:
+    two_cycle = {
+        Opcode.LD_W, Opcode.LD_H, Opcode.LD_B,
+        Opcode.ST_W, Opcode.ST_H, Opcode.ST_B,
+        Opcode.LDABS_D, Opcode.STABS_D, Opcode.LDABS_A, Opcode.STABS_A,
+        Opcode.LOAD_D, Opcode.LOAD_A,
+        Opcode.PUSH_D, Opcode.PUSH_A, Opcode.POP_D, Opcode.POP_A,
+        Opcode.INSERT,
+    }
+    three_cycle = {
+        Opcode.CALL_ABS, Opcode.CALL_IND, Opcode.RET, Opcode.RETI,
+        Opcode.TRAP, Opcode.MUL,
+    }
+    if opcode in two_cycle:
+        return 2
+    if opcode in three_cycle:
+        return 3
+    if opcode is Opcode.DIVU:
+        return 12
+    return 1
+
+
+for _op in Opcode:
+    _BASE_CYCLES[int(_op)] = _cycles_for(_op)
+
+_JUMP_TAKEN_EXTRA = 1
+
+
+class CpuCore:
+    """One SC88 core attached to a bus and an interrupt controller."""
+
+    def __init__(
+        self,
+        bus: Bus,
+        intc: InterruptController | None = None,
+        charge_wait_states: bool = False,
+    ):
+        self.bus = bus
+        self.intc = intc
+        self.charge_wait_states = charge_wait_states
+        self.regs = RegisterFile()
+        self.halted = False
+        self.instructions_retired = 0
+        self.cycles = 0
+        self.brk_events: list[int] = []
+        self.trace: list[TraceEntry] | None = None
+        self._pending_waits = 0
+        #: Optional fault-injection hook: called with (opcode, result) and
+        #: may return a corrupted result.  Used by the gate-level platform.
+        self.alu_fault_hook: Callable[[int, int], int] | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def reset(self, entry: int, stack_pointer: int) -> None:
+        self.regs.reset(sp_init=stack_pointer)
+        self.regs.pc = entry
+        self.halted = False
+        self.instructions_retired = 0
+        self.cycles = 0
+        self.brk_events = []
+        self._pending_waits = 0
+
+    def enable_trace(self, limit: int = 100_000) -> None:
+        self.trace = []
+        self._trace_limit = limit
+
+    # -- bus helpers -----------------------------------------------------------
+    def _read(self, address: int, size: int) -> int:
+        value, waits = self.bus.read(address, size)
+        if self.charge_wait_states:
+            self._pending_waits += waits
+        return value
+
+    def _write(self, address: int, value: int, size: int) -> None:
+        waits = self.bus.write(address, value, size)
+        if self.charge_wait_states:
+            self._pending_waits += waits
+
+    def _push(self, value: int) -> None:
+        self.regs.sp = (self.regs.sp - 4) & WORD_MASK
+        self._write(self.regs.sp, value & WORD_MASK, 4)
+
+    def _pop(self) -> int:
+        value = self._read(self.regs.sp, 4)
+        self.regs.sp = (self.regs.sp + 4) & WORD_MASK
+        return value
+
+    # -- traps / interrupts --------------------------------------------------
+    def take_trap(self, number: int, return_pc: int) -> None:
+        if not 0 <= number < VECTOR_COUNT:
+            raise CpuFault(f"trap number {number} out of range", return_pc)
+        vector_address = VECTOR_BASE + 4 * number
+        handler = self._read(vector_address, 4)
+        if handler == 0:
+            raise CpuFault(f"unhandled trap {number}", return_pc)
+        try:
+            self._push(return_pc)
+            self._push(self.regs.psw.value)
+        except BusError as exc:
+            # Trap-frame push failed (stack ran off mapped memory): a
+            # double fault — unrecoverable by architecture.
+            raise CpuFault(
+                f"double fault: cannot push trap {number} frame "
+                f"({exc})",
+                return_pc,
+            ) from exc
+        self.regs.psw.interrupt_enable = False
+        self.regs.pc = handler
+
+    def _check_interrupts(self) -> bool:
+        if self.intc is None or not self.regs.psw.interrupt_enable:
+            return False
+        line = self.intc.pending_line()
+        if line is None:
+            return False
+        self.take_trap(IRQ_VECTOR_BASE + line, self.regs.pc)
+        self.cycles += 4  # interrupt entry latency
+        return True
+
+    # -- main step -----------------------------------------------------------
+    def step(self) -> int:
+        """Execute one instruction; returns cycles consumed (including
+        interrupt entry if one was taken first)."""
+        if self.halted:
+            return 0
+        start_cycles = self.cycles
+        self._pending_waits = 0
+        self._check_interrupts()
+
+        pc = self.regs.pc
+        try:
+            word = self._read(pc, 4)
+        except BusError:
+            self.take_trap(TRAP_BUS_ERROR, pc)
+            self.cycles += 2
+            return self.cycles - start_cycles
+
+        opcode = opcode_of(word)
+        try:
+            spec = lookup_opcode(opcode)
+        except KeyError:
+            self.take_trap(TRAP_ILLEGAL_OPCODE, pc + 4)
+            self.cycles += 2
+            return self.cycles - start_cycles
+
+        literal = None
+        if spec.fmt.has_literal:
+            literal = self._read(pc + 4, 4)
+        next_pc = pc + spec.size_bytes
+        fields = decode_word(spec.fmt, word)
+
+        try:
+            taken = self._execute(
+                Opcode(opcode), fields, literal, next_pc
+            )
+        except BusError:
+            # Convert data-access failures into the architectural trap.
+            self.take_trap(TRAP_BUS_ERROR, next_pc)
+            self.cycles += 2
+            self.instructions_retired += 1
+            return self.cycles - start_cycles
+
+        self.instructions_retired += 1
+        cost = _BASE_CYCLES[opcode] + self._pending_waits
+        if taken:
+            cost += _JUMP_TAKEN_EXTRA
+        self.cycles += cost
+
+        if self.trace is not None and len(self.trace) < self._trace_limit:
+            self.trace.append(TraceEntry(pc, opcode, spec.mnemonic, cost))
+        return self.cycles - start_cycles
+
+    # -- execution ---------------------------------------------------------
+    def _execute(
+        self,
+        opcode: Opcode,
+        fields: dict[str, int],
+        literal: int | None,
+        next_pc: int,
+    ) -> bool:
+        """Execute; returns True when a branch was taken (extra cycle)."""
+        regs = self.regs
+        data = regs.data
+        addr = regs.address
+        psw = regs.psw
+        regs.pc = next_pc  # default fall-through; control flow overrides
+        r1 = fields.get("r1", 0)
+        r2 = fields.get("r2", 0)
+        r3 = fields.get("r3", 0)
+
+        def alu_result(value: int) -> int:
+            value &= WORD_MASK
+            if self.alu_fault_hook is not None:
+                value = self.alu_fault_hook(int(opcode), value) & WORD_MASK
+            return value
+
+        if opcode is Opcode.NOP:
+            return False
+        if opcode is Opcode.HALT:
+            self.halted = True
+            return False
+        if opcode is Opcode.BRK:
+            self.brk_events.append(next_pc - 4)
+            return False
+        if opcode is Opcode.DI:
+            psw.interrupt_enable = False
+            return False
+        if opcode is Opcode.EI:
+            psw.interrupt_enable = True
+            return False
+        if opcode is Opcode.RET:
+            regs.pc = self._pop()
+            return True
+        if opcode is Opcode.RETI:
+            psw.value = self._pop()
+            regs.pc = self._pop()
+            return True
+
+        # -- moves ------------------------------------------------------------
+        if opcode is Opcode.MOV_DD:
+            data[r1] = alu_result(data[r2])
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode is Opcode.MOV_AA:
+            addr[r1] = addr[r2]
+            return False
+        if opcode is Opcode.MOV_DA:
+            data[r1] = addr[r2]
+            return False
+        if opcode is Opcode.MOV_AD:
+            addr[r1] = data[r2]
+            return False
+        if opcode in (Opcode.LOAD_D, Opcode.LOAD_A):
+            assert literal is not None
+            bank = data if opcode is Opcode.LOAD_D else addr
+            bank[r1] = literal & WORD_MASK
+            return False
+        if opcode is Opcode.MOVI:
+            data[r1] = sign_extend_16(fields["imm16"]) & WORD_MASK
+            return False
+        if opcode is Opcode.MOVHI:
+            data[r1] = (fields["imm16"] << 16) & WORD_MASK
+            return False
+
+        # -- memory ---------------------------------------------------------
+        if opcode in (Opcode.LD_W, Opcode.LD_H, Opcode.LD_B):
+            size = {Opcode.LD_W: 4, Opcode.LD_H: 2, Opcode.LD_B: 1}[opcode]
+            address = (addr[r2] + sign_extend_16(fields["imm16"])) & WORD_MASK
+            data[r1] = self._read(address, size)
+            return False
+        if opcode in (Opcode.ST_W, Opcode.ST_H, Opcode.ST_B):
+            size = {Opcode.ST_W: 4, Opcode.ST_H: 2, Opcode.ST_B: 1}[opcode]
+            address = (addr[r2] + sign_extend_16(fields["imm16"])) & WORD_MASK
+            self._write(address, data[r1], size)
+            return False
+        if opcode is Opcode.LDABS_D:
+            assert literal is not None
+            data[r1] = self._read(literal & WORD_MASK, 4)
+            return False
+        if opcode is Opcode.LDABS_A:
+            assert literal is not None
+            addr[r1] = self._read(literal & WORD_MASK, 4)
+            return False
+        if opcode is Opcode.STABS_D:
+            assert literal is not None
+            self._write(literal & WORD_MASK, data[r1], 4)
+            return False
+        if opcode is Opcode.STABS_A:
+            assert literal is not None
+            self._write(literal & WORD_MASK, addr[r1], 4)
+            return False
+
+        # -- ALU ----------------------------------------------------------------
+        if opcode is Opcode.ADD:
+            raw = data[r2] + data[r3]
+            psw.set_add_flags(data[r2], data[r3], raw)
+            data[r1] = alu_result(raw)
+            return False
+        if opcode is Opcode.SUB:
+            psw.set_sub_flags(data[r2], data[r3])
+            data[r1] = alu_result(data[r2] - data[r3])
+            return False
+        if opcode is Opcode.AND:
+            data[r1] = alu_result(data[r2] & data[r3])
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode is Opcode.OR:
+            data[r1] = alu_result(data[r2] | data[r3])
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode is Opcode.XOR:
+            data[r1] = alu_result(data[r2] ^ data[r3])
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode in (Opcode.SHL, Opcode.SHR, Opcode.SAR):
+            amount = data[r3] & 31
+            data[r1] = alu_result(self._shift(opcode, data[r2], amount))
+            return False
+        if opcode in (Opcode.SHLI, Opcode.SHRI, Opcode.SARI):
+            amount = fields["imm16"] & 31
+            mapped = {
+                Opcode.SHLI: Opcode.SHL,
+                Opcode.SHRI: Opcode.SHR,
+                Opcode.SARI: Opcode.SAR,
+            }[opcode]
+            data[r1] = alu_result(self._shift(mapped, data[r2], amount))
+            return False
+        if opcode is Opcode.MUL:
+            data[r1] = alu_result(data[r2] * data[r3])
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode is Opcode.NOT:
+            data[r1] = alu_result(~data[r2])
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode is Opcode.NEG:
+            psw.set_sub_flags(0, data[r2])
+            data[r1] = alu_result(-data[r2])
+            return False
+        if opcode is Opcode.ADDI:
+            imm = sign_extend_16(fields["imm16"])
+            raw = data[r2] + imm
+            psw.set_add_flags(data[r2], imm & WORD_MASK, raw)
+            data[r1] = alu_result(raw)
+            return False
+        if opcode is Opcode.ANDI:
+            data[r1] = alu_result(data[r2] & fields["imm16"])
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode is Opcode.ORI:
+            data[r1] = alu_result(data[r2] | fields["imm16"])
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode is Opcode.XORI:
+            data[r1] = alu_result(data[r2] ^ fields["imm16"])
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode is Opcode.ADDA:
+            addr[r1] = (addr[r2] + sign_extend_16(fields["imm16"])) & WORD_MASK
+            return False
+        if opcode is Opcode.DIVU:
+            if data[r3] == 0:
+                self.take_trap(TRAP_DIV_ZERO, next_pc)
+                return True
+            data[r1] = alu_result(data[r2] // data[r3])
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode is Opcode.CMP:
+            psw.set_sub_flags(data[r1], data[r2])
+            return False
+        if opcode is Opcode.CMPI:
+            psw.set_sub_flags(data[r1], sign_extend_16(fields["imm16"]) & WORD_MASK)
+            return False
+
+        # -- bit fields -------------------------------------------------------
+        if opcode is Opcode.INSERT:
+            assert literal is not None
+            data[r1] = alu_result(
+                self._insert(data[r2], literal, fields["pos"], fields["width"])
+            )
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode is Opcode.INSERTR:
+            data[r1] = alu_result(
+                self._insert(data[r2], data[r3], fields["pos"], fields["width"])
+            )
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode in (Opcode.EXTRU, Opcode.EXTRS):
+            pos, width = fields["pos"], fields["width"]
+            mask = ((1 << width) - 1) if width < 32 else WORD_MASK
+            value = (data[r2] >> pos) & mask
+            if opcode is Opcode.EXTRS and width < 32 and value & (
+                1 << (width - 1)
+            ):
+                value |= WORD_MASK & ~mask
+            data[r1] = alu_result(value)
+            psw.set_logic_flags(data[r1])
+            return False
+        if opcode in (Opcode.SETB, Opcode.CLRB, Opcode.TGLB, Opcode.TSTB):
+            bit = fields["imm16"] & 31
+            if opcode is Opcode.SETB:
+                data[r1] = alu_result(data[r1] | (1 << bit))
+                psw.set_logic_flags(data[r1])
+            elif opcode is Opcode.CLRB:
+                data[r1] = alu_result(data[r1] & ~(1 << bit))
+                psw.set_logic_flags(data[r1])
+            elif opcode is Opcode.TGLB:
+                data[r1] = alu_result(data[r1] ^ (1 << bit))
+                psw.set_logic_flags(data[r1])
+            else:  # TSTB
+                psw.zero = not (data[r1] >> bit) & 1
+            return False
+
+        # -- control flow -------------------------------------------------------
+        if opcode is Opcode.JMP:
+            assert literal is not None
+            regs.pc = literal & WORD_MASK
+            return True
+        condition = self._condition(opcode)
+        if condition is not None:
+            assert literal is not None
+            if condition:
+                regs.pc = literal & WORD_MASK
+                return True
+            return False
+        if opcode is Opcode.CALL_ABS:
+            assert literal is not None
+            self._push(next_pc)
+            regs.pc = literal & WORD_MASK
+            return True
+        if opcode is Opcode.CALL_IND:
+            self._push(next_pc)
+            regs.pc = addr[r1]
+            return True
+        if opcode is Opcode.DJNZ:
+            assert literal is not None
+            data[r1] = (data[r1] - 1) & WORD_MASK
+            psw.set_logic_flags(data[r1])
+            if data[r1] != 0:
+                regs.pc = literal & WORD_MASK
+                return True
+            return False
+
+        # -- stack ---------------------------------------------------------------
+        if opcode is Opcode.PUSH_D:
+            self._push(data[r1])
+            return False
+        if opcode is Opcode.PUSH_A:
+            self._push(addr[r1])
+            return False
+        if opcode is Opcode.POP_D:
+            data[r1] = self._pop()
+            return False
+        if opcode is Opcode.POP_A:
+            addr[r1] = self._pop()
+            return False
+
+        # -- system ---------------------------------------------------------------
+        if opcode is Opcode.TRAP:
+            self.take_trap(fields["imm8"], next_pc)
+            return True
+        if opcode is Opcode.RDPSW:
+            data[r1] = psw.value
+            return False
+        if opcode is Opcode.WRPSW:
+            psw.value = data[r1]
+            return False
+
+        raise CpuFault(f"unimplemented opcode {opcode!r}", next_pc - 4)
+
+    # -- helpers -----------------------------------------------------------
+    def _shift(self, opcode: Opcode, value: int, amount: int) -> int:
+        psw = self.regs.psw
+        if amount == 0:
+            psw.set_logic_flags(value)
+            return value
+        if opcode is Opcode.SHL:
+            result = (value << amount) & WORD_MASK
+            carry = bool((value >> (32 - amount)) & 1)
+        elif opcode is Opcode.SHR:
+            result = (value >> amount) & WORD_MASK
+            carry = bool((value >> (amount - 1)) & 1)
+        else:  # SAR
+            signed = value - (1 << 32) if value & 0x8000_0000 else value
+            result = (signed >> amount) & WORD_MASK
+            carry = bool((value >> (amount - 1)) & 1)
+        psw.set_logic_flags(result)
+        psw.carry = carry
+        return result
+
+    @staticmethod
+    def _insert(base: int, value: int, pos: int, width: int) -> int:
+        mask = ((1 << width) - 1) if width < 32 else WORD_MASK
+        mask_shifted = (mask << pos) & WORD_MASK
+        return (base & ~mask_shifted) | ((value & mask) << pos) & WORD_MASK
+
+    def _condition(self, opcode: Opcode) -> bool | None:
+        psw = self.regs.psw
+        table: dict[Opcode, Callable[[], bool]] = {
+            Opcode.JZ: lambda: psw.zero,
+            Opcode.JNZ: lambda: not psw.zero,
+            Opcode.JC: lambda: psw.carry,
+            Opcode.JNC: lambda: not psw.carry,
+            Opcode.JN: lambda: psw.negative,
+            Opcode.JNN: lambda: not psw.negative,
+            Opcode.JV: lambda: psw.overflow,
+            Opcode.JNV: lambda: not psw.overflow,
+            Opcode.JGE: lambda: psw.negative == psw.overflow,
+            Opcode.JLT: lambda: psw.negative != psw.overflow,
+            Opcode.JGT: lambda: not psw.zero
+            and psw.negative == psw.overflow,
+            Opcode.JLE: lambda: psw.zero or psw.negative != psw.overflow,
+        }
+        checker = table.get(opcode)
+        return checker() if checker is not None else None

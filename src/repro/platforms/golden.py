@@ -1,0 +1,22 @@
+"""Golden reference model.
+
+The paper's first platform: "the software simulator that is supplied to
+the customer for software development".  Functionally exact, instruction
+timed (no wait states), full visibility.  All other platforms are judged
+against its behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import Platform
+
+
+class GoldenModel(Platform):
+    name = "golden"
+    description = "golden reference software simulator (customer model)"
+    sees_registers = True
+    sees_memory = True
+    sees_uart = True
+    sees_trace = True
+    cycle_accurate = False
+    relative_speed = 1.0

@@ -1,0 +1,22 @@
+"""HDL-RTL simulation platform.
+
+Cycle-accurate: charges bus wait states per region and offers full
+waveform-style visibility (instruction trace).  Much slower than the
+golden model in wall-clock terms — ``relative_speed`` records the
+paper-era ratio so benchmark tables can report simulated-speed columns.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import Platform
+
+
+class RtlSim(Platform):
+    name = "rtl"
+    description = "HDL-RTL simulation of the design for silicon"
+    sees_registers = True
+    sees_memory = True
+    sees_uart = True
+    sees_trace = True
+    cycle_accurate = True
+    relative_speed = 1e-3  # ~1000x slower than the golden model

@@ -1,0 +1,24 @@
+"""Product silicon platform.
+
+The final customer device: no debug access at all.  The only verdict
+sources are the GPIO done/pass pins the ADVM base functions drive and
+whatever the test printed over the UART.  Tests that never call the
+reporting base functions come back ``NO_DATA`` here — which is itself a
+methodology signal the regression layer surfaces (a directed test that
+cannot report on silicon is a broken test).
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import Platform
+
+
+class ProductSilicon(Platform):
+    name = "silicon"
+    description = "final product silicon (pin-level visibility only)"
+    sees_registers = False
+    sees_memory = False
+    sees_uart = True
+    sees_trace = False
+    cycle_accurate = False
+    relative_speed = 100.0

@@ -1,0 +1,99 @@
+"""SC88 system-on-chip model (the device under test).
+
+The paper verified an Infineon SLE88 chip-card controller; this package
+provides the equivalent substrate: a catalogue of chip *derivatives*
+(:mod:`repro.soc.derivatives`) over a common peripheral set (UART, NVM
+page controller, timer, interrupt controller, GPIO, watchdog), a register
+model with named bit fields (:mod:`repro.soc.registers`), and the
+embedded-software ROM that plays the paper's "global layer" firmware
+(:mod:`repro.soc.embedded`).
+"""
+
+from repro.soc.bus import Bus, BusAccess, BusError, Memory
+from repro.soc.derivatives import (
+    CATALOGUE,
+    Derivative,
+    SC88A,
+    SC88B,
+    SC88C,
+    SC88D,
+    all_derivatives,
+    derivative,
+)
+from repro.soc.device import (
+    FAIL_MAGIC,
+    PASS_MAGIC,
+    SystemOnChip,
+)
+from repro.soc.embedded import (
+    ES_ABI_V1,
+    ES_ABI_V2,
+    EsAbi,
+    assemble_embedded_software,
+    es_abi,
+    es_source,
+)
+from repro.soc.memorymap import (
+    IRQ_VECTOR_BASE,
+    MemoryMap,
+    MemoryRegion,
+    NVM_PAGE_BYTES,
+    TRAP_BUS_ERROR,
+    TRAP_DIV_ZERO,
+    TRAP_ILLEGAL_OPCODE,
+    TRAP_MISALIGNED,
+    TRAP_WATCHDOG,
+    VECTOR_BASE,
+    VECTOR_COUNT,
+    make_memory_map,
+)
+from repro.soc.registers import (
+    Access,
+    Field,
+    Instance,
+    PeripheralLayout,
+    RegisterDef,
+    RegisterMap,
+)
+
+__all__ = [
+    "Access",
+    "Bus",
+    "BusAccess",
+    "BusError",
+    "CATALOGUE",
+    "Derivative",
+    "ES_ABI_V1",
+    "ES_ABI_V2",
+    "EsAbi",
+    "FAIL_MAGIC",
+    "Field",
+    "IRQ_VECTOR_BASE",
+    "Instance",
+    "Memory",
+    "MemoryMap",
+    "MemoryRegion",
+    "NVM_PAGE_BYTES",
+    "PASS_MAGIC",
+    "PeripheralLayout",
+    "RegisterDef",
+    "RegisterMap",
+    "SC88A",
+    "SC88B",
+    "SC88C",
+    "SC88D",
+    "SystemOnChip",
+    "TRAP_BUS_ERROR",
+    "TRAP_DIV_ZERO",
+    "TRAP_ILLEGAL_OPCODE",
+    "TRAP_MISALIGNED",
+    "TRAP_WATCHDOG",
+    "VECTOR_BASE",
+    "VECTOR_COUNT",
+    "all_derivatives",
+    "assemble_embedded_software",
+    "derivative",
+    "es_abi",
+    "es_source",
+    "make_memory_map",
+]

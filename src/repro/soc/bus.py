@@ -1,0 +1,154 @@
+"""System bus: routes CPU accesses to memories and peripherals.
+
+The bus is deliberately simple — single master, flat decode — but it
+models the two properties the execution platforms differ on:
+
+- **wait states** per device (the cycle-accurate "RTL" platform charges
+  them; the functional golden model ignores them), and
+- an **access trace** hook used by functional coverage and by the
+  platforms with bus visibility.
+
+Unmapped or misaligned accesses raise :class:`BusError`; the CPU converts
+them into the architectural bus-error trap so a runaway test dies the
+same way on every platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+
+class BusError(Exception):
+    """Unmapped or malformed bus access."""
+
+    def __init__(self, message: str, address: int):
+        super().__init__(message)
+        self.address = address
+
+
+class BusDevice(Protocol):
+    """Anything mappable on the bus."""
+
+    def read(self, offset: int, size: int) -> int: ...
+
+    def write(self, offset: int, value: int, size: int) -> None: ...
+
+
+@dataclass
+class Mapping:
+    name: str
+    base: int
+    size: int
+    device: BusDevice
+    wait_states: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, length: int) -> bool:
+        return self.base <= address and address + length <= self.end
+
+
+@dataclass(frozen=True)
+class BusAccess:
+    """One observed bus transaction (for traces and coverage)."""
+
+    kind: str  # "read" | "write"
+    address: int
+    size: int
+    value: int
+
+
+class Memory:
+    """Plain byte-addressable memory device (RAM, ROM, NVM array)."""
+
+    def __init__(self, size: int, read_only: bool = False, fill: int = 0x00):
+        self.data = bytearray([fill]) * 1  # placate type checkers
+        self.data = bytearray([fill] * size)
+        self.read_only = read_only
+
+    def read(self, offset: int, size: int) -> int:
+        return int.from_bytes(self.data[offset : offset + size], "little")
+
+    def write(self, offset: int, value: int, size: int) -> None:
+        if self.read_only:
+            raise BusError("write to read-only memory", offset)
+        self.data[offset : offset + size] = (
+            value & ((1 << (8 * size)) - 1)
+        ).to_bytes(size, "little")
+
+    def load(self, offset: int, payload: bytes) -> None:
+        """Backdoor load (image loading bypasses read-only protection)."""
+        self.data[offset : offset + len(payload)] = payload
+
+
+class Bus:
+    """Single-master system bus with device decode and tracing."""
+
+    def __init__(self) -> None:
+        self.mappings: list[Mapping] = []
+        self.trace_hooks: list[Callable[[BusAccess], None]] = []
+        self.access_count = 0
+
+    def attach(
+        self,
+        name: str,
+        base: int,
+        size: int,
+        device: BusDevice,
+        wait_states: int = 0,
+    ) -> Mapping:
+        mapping = Mapping(name, base, size, device, wait_states)
+        for existing in self.mappings:
+            if mapping.base < existing.end and existing.base < mapping.end:
+                raise ValueError(
+                    f"bus mapping {name!r} overlaps {existing.name!r}"
+                )
+        self.mappings.append(mapping)
+        self.mappings.sort(key=lambda m: m.base)
+        return mapping
+
+    def mapping_for(self, address: int, length: int) -> Mapping:
+        for mapping in self.mappings:
+            if mapping.contains(address, length):
+                return mapping
+        raise BusError(f"unmapped address {address:#010x}", address)
+
+    # -- access API -------------------------------------------------------
+    def read(self, address: int, size: int) -> tuple[int, int]:
+        """Read *size* bytes; returns ``(value, wait_states)``."""
+        if address % size:
+            raise BusError(f"misaligned read at {address:#010x}", address)
+        mapping = self.mapping_for(address, size)
+        value = mapping.device.read(address - mapping.base, size)
+        self.access_count += 1
+        if self.trace_hooks:
+            access = BusAccess("read", address, size, value)
+            for hook in self.trace_hooks:
+                hook(access)
+        return value, mapping.wait_states
+
+    def write(self, address: int, value: int, size: int) -> int:
+        """Write *size* bytes; returns wait states charged."""
+        if address % size:
+            raise BusError(f"misaligned write at {address:#010x}", address)
+        mapping = self.mapping_for(address, size)
+        mapping.device.write(address - mapping.base, value, size)
+        self.access_count += 1
+        if self.trace_hooks:
+            access = BusAccess("write", address, size, value)
+            for hook in self.trace_hooks:
+                hook(access)
+        return mapping.wait_states
+
+    # Convenience word accessors used by platforms/debug ports; they do
+    # not charge wait states or fire trace hooks.
+    def peek_word(self, address: int) -> int:
+        mapping = self.mapping_for(address, 4)
+        return mapping.device.read(address - mapping.base, 4)
+
+    def poke_word(self, address: int, value: int) -> None:
+        mapping = self.mapping_for(address, 4)
+        mapping.device.write(address - mapping.base, value, 4)

@@ -1,0 +1,180 @@
+"""The assembled SC88 device: CPU-visible bus with all peripherals.
+
+:class:`SystemOnChip` wires one derivative's memories and peripherals
+onto a bus and offers the services every execution platform needs: image
+loading, peripheral ticking with interrupt collection, and the
+result-reporting probes (result word in RAM, GPIO pass/fail pins, UART
+output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.assembler.linker import MemoryImage
+from repro.soc.bus import Bus, Memory
+from repro.soc.derivatives import Derivative
+from repro.soc.memorymap import MemoryMap
+from repro.soc.peripherals.gpio import DONE_PIN, Gpio, PASS_PIN
+from repro.soc.peripherals.intc import (
+    InterruptController,
+    LINE_GPIO,
+    LINE_NVM,
+    LINE_TIMER,
+    LINE_UART,
+    LINE_WDT,
+)
+from repro.soc.peripherals.nvm import NvmController
+from repro.soc.peripherals.timer import Timer
+from repro.soc.peripherals.uart import Uart
+from repro.soc.peripherals.watchdog import Watchdog
+
+#: Result signatures written by tests (also published via Globals.inc).
+PASS_MAGIC = 0x600D_C0DE
+FAIL_MAGIC = 0xBAD0_BAD0
+
+#: Wait states charged by the cycle-accurate platforms, per region.
+ROM_WAIT_STATES = 1
+RAM_WAIT_STATES = 0
+NVM_WAIT_STATES = 3
+SFR_WAIT_STATES = 1
+
+
+@dataclass
+class IrqLine:
+    line: int
+    device: object  # Peripheral with an ``irq`` attribute
+
+
+class SystemOnChip:
+    """One SC88 device instance for a given derivative."""
+
+    def __init__(self, derivative: Derivative):
+        self.derivative = derivative
+        self.memory_map: MemoryMap = derivative.memory_map()
+        self.register_map = derivative.register_map()
+        self.bus = Bus()
+
+        memory_map = self.memory_map
+        self.rom = Memory(memory_map.rom.size, read_only=True)
+        self.ram = Memory(memory_map.ram.size)
+        self.bus.attach(
+            "rom",
+            memory_map.rom.base,
+            memory_map.rom.size,
+            self.rom,
+            ROM_WAIT_STATES,
+        )
+        self.bus.attach(
+            "ram",
+            memory_map.ram.base,
+            memory_map.ram.size,
+            self.ram,
+            RAM_WAIT_STATES,
+        )
+
+        self.nvm = NvmController(
+            layout=derivative.nvm_layout(), pages=derivative.nvm_pages
+        )
+        self.bus.attach(
+            "nvm_array",
+            memory_map.nvm.base,
+            memory_map.nvm.size,
+            self.nvm.array,
+            NVM_WAIT_STATES,
+        )
+
+        self.intc = InterruptController(derivative.intc_layout())
+        self.uart = Uart(derivative.uart_layout())
+        self.timer = Timer(derivative.timer_layout())
+        self.gpio = Gpio(derivative.gpio_layout())
+        self.wdt = Watchdog(
+            derivative.wdt_layout(), service_key=derivative.wdt_service_key
+        )
+
+        register_map = self.register_map
+        for instance_name, device in (
+            ("INTC", self.intc),
+            ("UART", self.uart),
+            ("NVM", self.nvm),
+            ("TIMER", self.timer),
+            ("GPIO", self.gpio),
+            ("WDT", self.wdt),
+        ):
+            instance = register_map.instance(instance_name)
+            self.bus.attach(
+                instance_name.lower(),
+                instance.base,
+                instance.layout.size,
+                device,
+                SFR_WAIT_STATES,
+            )
+
+        self.irq_lines = [
+            IrqLine(LINE_UART, self.uart),
+            IrqLine(LINE_TIMER, self.timer),
+            IrqLine(LINE_NVM, self.nvm),
+            IrqLine(LINE_GPIO, self.gpio),
+            IrqLine(LINE_WDT, self.wdt),
+        ]
+
+    # -- lifecycle ------------------------------------------------------------
+    def reset(self) -> None:
+        for peripheral in (
+            self.intc,
+            self.uart,
+            self.nvm,
+            self.timer,
+            self.gpio,
+            self.wdt,
+        ):
+            peripheral.reset()
+        self.ram.load(0, bytes(self.memory_map.ram.size))
+
+    def load_image(self, image: MemoryImage) -> None:
+        """Backdoor-load a linked image into ROM/RAM/NVM."""
+        for segment in image.segments:
+            region = self.memory_map.region_of(segment.base)
+            if region is None:
+                raise ValueError(
+                    f"image segment {segment.name!r} at {segment.base:#010x} "
+                    "is outside every memory region"
+                )
+            offset = segment.base - region.base
+            if region.name == "rom":
+                self.rom.load(offset, segment.data)
+            elif region.name == "ram":
+                self.ram.load(offset, segment.data)
+            elif region.name == "nvm":
+                self.nvm.array.load(offset, segment.data)
+            else:
+                raise ValueError(
+                    f"cannot load image segment into region {region.name!r}"
+                )
+
+    # -- time -------------------------------------------------------------------
+    def tick(self, cycles: int = 1) -> None:
+        """Advance peripheral time and collect interrupt lines."""
+        for irq_line in self.irq_lines:
+            irq_line.device.tick(cycles)
+            if irq_line.device.irq:
+                self.intc.raise_line(irq_line.line)
+                irq_line.device.irq = False
+
+    # -- probes -------------------------------------------------------------
+    def result_word(self) -> int:
+        """The test-result signature word in RAM."""
+        return self.bus.peek_word(self.memory_map.result_address)
+
+    def done_pin(self) -> int:
+        return self.gpio.pin(DONE_PIN)
+
+    def pass_pin(self) -> int:
+        return self.gpio.pin(PASS_PIN)
+
+    def uart_output(self) -> str:
+        return self.uart.transmitted_text()
+
+    @property
+    def watchdog_expired(self) -> bool:
+        return self.wdt.expired

@@ -1,0 +1,93 @@
+"""Peripheral base class.
+
+A peripheral owns a :class:`~repro.soc.registers.PeripheralLayout` and a
+value per register; the base class implements bus access with the layout's
+access semantics (read-only registers ignore writes, write-1-to-clear
+status registers clear on write).  Subclasses hook :meth:`on_write` /
+:meth:`on_read` for side effects and :meth:`tick` for time-based
+behaviour, and raise their interrupt line via :attr:`irq`.
+"""
+
+from __future__ import annotations
+
+from repro.soc.bus import BusError
+from repro.soc.registers import Access, PeripheralLayout, RegisterDef
+
+
+class Peripheral:
+    """Register-block device with layout-driven access semantics."""
+
+    def __init__(self, layout: PeripheralLayout, name: str | None = None):
+        self.layout = layout
+        self.name = name or layout.name
+        self.values: dict[str, int] = {}
+        self.irq = False
+        self.reset()
+
+    # -- lifecycle -----------------------------------------------------------
+    def reset(self) -> None:
+        self.values = {r.name: r.reset for r in self.layout.registers}
+        self.irq = False
+
+    # -- bus protocol ----------------------------------------------------------
+    def read(self, offset: int, size: int) -> int:
+        if size != 4:
+            raise BusError(
+                f"{self.name}: registers require word access", offset
+            )
+        reg = self.layout.register_at(offset)
+        if reg is None:
+            raise BusError(
+                f"{self.name}: no register at offset {offset:#x}", offset
+            )
+        if reg.access == Access.WO:
+            return 0
+        value = self.on_read(reg, self.values[reg.name])
+        return value & 0xFFFF_FFFF
+
+    def write(self, offset: int, value: int, size: int) -> None:
+        if size != 4:
+            raise BusError(
+                f"{self.name}: registers require word access", offset
+            )
+        reg = self.layout.register_at(offset)
+        if reg is None:
+            raise BusError(
+                f"{self.name}: no register at offset {offset:#x}", offset
+            )
+        value &= 0xFFFF_FFFF
+        if reg.access == Access.RO:
+            return  # writes to read-only registers are ignored
+        if reg.access == Access.W1C:
+            self.values[reg.name] &= ~value
+            self.on_write(reg, value)
+            return
+        self.values[reg.name] = value
+        self.on_write(reg, value)
+
+    # -- subclass hooks -----------------------------------------------------
+    def on_read(self, reg: RegisterDef, value: int) -> int:
+        """Override to compute read side effects; returns the visible value."""
+        return value
+
+    def on_write(self, reg: RegisterDef, value: int) -> None:
+        """Override for write side effects (after the store)."""
+
+    def tick(self, cycles: int = 1) -> None:
+        """Advance model time by *cycles* core clocks."""
+
+    # -- register/field helpers for subclasses -----------------------------
+    def reg_value(self, name: str) -> int:
+        return self.values[name]
+
+    def set_reg(self, name: str, value: int) -> None:
+        self.values[name] = value & 0xFFFF_FFFF
+
+    def field_value(self, register: str, field: str) -> int:
+        reg = self.layout.register_named(register)
+        return reg.field_named(field).extract(self.values[register])
+
+    def set_field(self, register: str, field: str, value: int) -> None:
+        reg = self.layout.register_named(register)
+        fld = reg.field_named(field)
+        self.values[register] = fld.insert(self.values[register], value)

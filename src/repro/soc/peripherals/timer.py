@@ -1,0 +1,106 @@
+"""Down-counting timer with interrupt generation.
+
+Derivatives differ in counter width (a later SC88 widens it from 24 to 32
+bits), which is published to tests through the global defines as
+``TIMER_COUNTER_WIDTH`` / ``TIMER_MAX_COUNT``.
+"""
+
+from __future__ import annotations
+
+from repro.soc.peripherals.base import Peripheral
+from repro.soc.registers import (
+    Access,
+    Field,
+    PeripheralLayout,
+    RegisterDef,
+)
+
+
+def make_timer_layout(
+    counter_width: int = 24,
+    ctrl_name: str = "TIM_CTRL",
+    count_name: str = "TIM_CNT",
+    reload_name: str = "TIM_RELOAD",
+    stat_name: str = "TIM_STAT",
+) -> PeripheralLayout:
+    return PeripheralLayout(
+        name="TIMER",
+        doc=f"{counter_width}-bit down counter",
+        registers=(
+            RegisterDef(
+                ctrl_name,
+                0x00,
+                fields=(
+                    Field("EN", 0, 1, doc="count enable"),
+                    Field("IE", 1, 1, doc="underflow interrupt enable"),
+                    Field("ONESHOT", 2, 1, doc="stop after first underflow"),
+                ),
+            ),
+            RegisterDef(
+                count_name,
+                0x04,
+                access=Access.RO,
+                fields=(Field("COUNT", 0, counter_width, Access.RO),),
+            ),
+            RegisterDef(
+                reload_name,
+                0x08,
+                fields=(Field("RELOAD", 0, counter_width),),
+            ),
+            RegisterDef(
+                stat_name,
+                0x0C,
+                access=Access.W1C,
+                fields=(Field("OVF", 0, 1, Access.W1C, "underflow seen"),),
+            ),
+        ),
+    )
+
+
+class Timer(Peripheral):
+    """Cycle-driven down counter."""
+
+    def __init__(self, layout: PeripheralLayout | None = None):
+        layout = layout or make_timer_layout()
+        regs = layout.register_names()
+        self._ctrl, self._count, self._reload, self._stat = regs
+        counter_field = layout.register_named(self._count).field_named("COUNT")
+        self.max_count = counter_field.max_value
+        super().__init__(layout, name="TIMER")
+        self.underflows = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self.underflows = 0
+
+    def on_write(self, reg, value: int) -> None:
+        if reg.name == self._reload:
+            # Writing the reload also primes the counter, like most MCUs.
+            self.set_reg(self._count, value & self.max_count)
+        elif reg.name == self._ctrl:
+            pass  # EN/IE take effect on the next tick
+
+    def tick(self, cycles: int = 1) -> None:
+        if self.field_value(self._ctrl, "EN") != 1:
+            self.irq = False
+            return
+        count = self.reg_value(self._count)
+        reload = self.reg_value(self._reload) & self.max_count
+        remaining = cycles
+        while remaining > 0:
+            if count >= remaining:
+                count -= remaining
+                remaining = 0
+            else:
+                remaining -= count + 1
+                self.underflows += 1
+                self.set_field(self._stat, "OVF", 1)
+                if self.field_value(self._ctrl, "ONESHOT"):
+                    self.set_field(self._ctrl, "EN", 0)
+                    count = 0
+                    break
+                count = reload
+        self.set_reg(self._count, count)
+        interrupt_enabled = self.field_value(self._ctrl, "IE") == 1
+        overflow = self.field_value(self._stat, "OVF") == 1
+        self.irq = interrupt_enabled and overflow

@@ -1,0 +1,99 @@
+"""Watchdog timer.
+
+Chip-card firmware must service the watchdog periodically; tests that run
+long (NVM programming waits) use the base-function wrapper
+``Base_WDT_Service`` rather than touching the service register directly —
+derivative D changes the service key, and only the abstraction layer
+needs to know.
+"""
+
+from __future__ import annotations
+
+from repro.soc.peripherals.base import Peripheral
+from repro.soc.registers import (
+    Access,
+    Field,
+    PeripheralLayout,
+    RegisterDef,
+)
+
+DEFAULT_SERVICE_KEY = 0xA5
+DEFAULT_TIMEOUT = 100_000
+
+
+def make_wdt_layout(
+    ctrl_name: str = "WDT_CTRL",
+    service_name: str = "WDT_SERVICE",
+    count_name: str = "WDT_CNT",
+) -> PeripheralLayout:
+    return PeripheralLayout(
+        name="WDT",
+        doc="windowless watchdog; write the service key to reload",
+        registers=(
+            RegisterDef(
+                ctrl_name,
+                0x00,
+                fields=(
+                    Field("EN", 0, 1, doc="enable (sticky until reset)"),
+                    Field("TIMEOUT", 8, 20, doc="reload value in cycles"),
+                ),
+            ),
+            RegisterDef(
+                service_name,
+                0x04,
+                access=Access.WO,
+                fields=(Field("KEY", 0, 8, Access.WO),),
+            ),
+            RegisterDef(
+                count_name,
+                0x08,
+                access=Access.RO,
+                fields=(Field("COUNT", 0, 32, Access.RO),),
+            ),
+        ),
+    )
+
+
+class Watchdog(Peripheral):
+    def __init__(
+        self,
+        layout: PeripheralLayout | None = None,
+        service_key: int = DEFAULT_SERVICE_KEY,
+    ):
+        layout = layout or make_wdt_layout()
+        regs = layout.register_names()
+        self._ctrl, self._service, self._count = regs
+        self.service_key = service_key
+        super().__init__(layout, name="WDT")
+        self.expired = False
+        self.services = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self.expired = False
+        self.services = 0
+        self.set_reg(self._count, DEFAULT_TIMEOUT)
+
+    def _timeout(self) -> int:
+        configured = self.field_value(self._ctrl, "TIMEOUT")
+        return configured if configured else DEFAULT_TIMEOUT
+
+    def on_write(self, reg, value: int) -> None:
+        if reg.name == self._service:
+            if (value & 0xFF) == self.service_key:
+                self.set_reg(self._count, self._timeout())
+                self.services += 1
+            # A wrong key is ignored: real watchdogs treat it as a miss.
+        elif reg.name == self._ctrl:
+            self.set_reg(self._count, self._timeout())
+
+    def tick(self, cycles: int = 1) -> None:
+        if self.field_value(self._ctrl, "EN") != 1 or self.expired:
+            return
+        count = self.reg_value(self._count)
+        if count > cycles:
+            self.set_reg(self._count, count - cycles)
+            return
+        self.set_reg(self._count, 0)
+        self.expired = True
+        self.irq = True

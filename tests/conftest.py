@@ -1,0 +1,51 @@
+"""Shared fixtures for the ADVM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.targets import TARGET_GOLDEN, TARGET_RTL
+from repro.soc.derivatives import SC88A, SC88B, SC88C, SC88D, all_derivatives
+
+
+@pytest.fixture(scope="session")
+def derivatives():
+    return all_derivatives()
+
+
+@pytest.fixture
+def sc88a():
+    return SC88A
+
+
+@pytest.fixture
+def sc88b():
+    return SC88B
+
+
+@pytest.fixture
+def sc88c():
+    return SC88C
+
+
+@pytest.fixture
+def sc88d():
+    return SC88D
+
+
+@pytest.fixture
+def golden_target():
+    return TARGET_GOLDEN
+
+
+@pytest.fixture
+def rtl_target():
+    return TARGET_RTL
+
+
+@pytest.fixture(scope="session")
+def nvm_env_small():
+    """A small NVM environment, session-cached (read-only use)."""
+    from repro.core.workloads import make_nvm_environment
+
+    return make_nvm_environment(num_tests=2)

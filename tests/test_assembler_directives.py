@@ -1,0 +1,315 @@
+"""Tests for assembler directives: EQU/DEFINE, conditionals, macros,
+sections, data emission — the machinery the ADVM abstraction layer uses."""
+
+import pytest
+
+from repro.assembler.assembler import Assembler
+from repro.assembler.errors import (
+    DirectiveError,
+    ParseError,
+    SymbolError,
+)
+from repro.assembler.preprocessor import InMemoryProvider
+
+
+def assemble(source: str, predefines=None, files=None):
+    asm = Assembler(
+        provider=InMemoryProvider(files or {}), predefines=predefines
+    )
+    return asm.assemble_source(source, "unit.asm")
+
+
+class TestEqu:
+    def test_suffix_form(self):
+        obj = assemble("PAGE .EQU 8\n_main:\n    LOAD d0, PAGE\n    HALT\n")
+        assert obj.define_snapshot["PAGE"] == 8
+        assert obj.section("text").read_word(4) == 8  # literal word
+
+    def test_directive_form(self):
+        obj = assemble(".EQU WIDTH, 5\n_main:\n    HALT\n")
+        assert obj.define_snapshot["WIDTH"] == 5
+
+    def test_equ_expression_with_prior_equ(self):
+        obj = assemble(
+            "A .EQU 4\nB .EQU A * 2 + 1\n_main:\n    HALT\n"
+        )
+        assert obj.define_snapshot["B"] == 9
+
+    def test_equ_forward_reference_rejected(self):
+        with pytest.raises(Exception):
+            assemble("B .EQU A + 1\nA .EQU 4\n_main:\n    HALT\n")
+
+    def test_redefinition_same_value_ok(self):
+        obj = assemble("A .EQU 4\nA .EQU 4\n_main:\n    HALT\n")
+        assert obj.define_snapshot["A"] == 4
+
+    def test_redefinition_different_value_rejected(self):
+        with pytest.raises(SymbolError, match="redefined"):
+            assemble("A .EQU 4\nA .EQU 5\n_main:\n    HALT\n")
+
+    def test_paper_figure6_local_placeholder(self):
+        # TEST_PAGE .EQU TEST1_TARGET_PAGE — local control alias.
+        obj = assemble(
+            "TEST1_TARGET_PAGE .EQU 8\n"
+            "TEST_PAGE .EQU TEST1_TARGET_PAGE\n"
+            "_main:\n    HALT\n"
+        )
+        assert obj.define_snapshot["TEST_PAGE"] == 8
+
+
+class TestDefine:
+    def test_register_alias(self):
+        # The paper's `.DEFINE CallAddr A12`.
+        obj = assemble(
+            ".DEFINE CallAddr A12\n"
+            "_main:\n"
+            "    LOAD CallAddr, 0x100\n"
+            "    CALL CallAddr\n"
+            "    HALT\n"
+        )
+        text = obj.section("text")
+        # LOAD.A opcode is 0x15; register a12 in r1.
+        first = text.read_word(0)
+        assert (first >> 24) == 0x15
+        assert (first >> 20) & 0xF == 12
+
+    def test_define_without_value_defaults_to_one(self):
+        obj = assemble(
+            ".DEFINE FLAG\n"
+            ".IFDEF FLAG\n"
+            "OK .EQU 1\n"
+            ".ENDIF\n"
+            "_main:\n    HALT\n"
+        )
+        assert obj.define_snapshot["OK"] == 1
+
+    def test_duplicate_define_rejected(self):
+        with pytest.raises(SymbolError, match="duplicate"):
+            assemble(".DEFINE X 1\n.DEFINE X 2\n_main:\n    HALT\n")
+
+    def test_undef_allows_redefinition(self):
+        obj = assemble(
+            ".DEFINE X 1\n.UNDEF X\n.DEFINE X 2\n"
+            "V .EQU X\n_main:\n    HALT\n"
+        )
+        assert obj.define_snapshot["V"] == 2
+
+    def test_cyclic_define_detected(self):
+        with pytest.raises(ParseError, match="depth"):
+            assemble(
+                ".DEFINE A B\n.DEFINE B A\nV .EQU A\n_main:\n    HALT\n"
+            )
+
+    def test_define_expands_in_expressions(self):
+        obj = assemble(
+            ".DEFINE WIDE (2 * 8)\nV .EQU WIDE + 1\n_main:\n    HALT\n"
+        )
+        assert obj.define_snapshot["V"] == 17
+
+
+class TestConditionals:
+    def test_ifdef_with_predefine(self):
+        obj = assemble(
+            ".IFDEF DERIVATIVE_SC88B\nV .EQU 2\n.ELSE\nV .EQU 1\n.ENDIF\n"
+            "_main:\n    HALT\n",
+            predefines={"DERIVATIVE_SC88B": 1},
+        )
+        assert obj.define_snapshot["V"] == 2
+
+    def test_ifdef_without_predefine_takes_else(self):
+        obj = assemble(
+            ".IFDEF DERIVATIVE_SC88B\nV .EQU 2\n.ELSE\nV .EQU 1\n.ENDIF\n"
+            "_main:\n    HALT\n"
+        )
+        assert obj.define_snapshot["V"] == 1
+
+    def test_ifndef(self):
+        obj = assemble(
+            ".IFNDEF MISSING\nV .EQU 3\n.ENDIF\n_main:\n    HALT\n"
+        )
+        assert obj.define_snapshot["V"] == 3
+
+    def test_if_expression(self):
+        obj = assemble(
+            "MODE .EQU 2\n"
+            ".IF MODE == 2\nV .EQU 20\n.ELSE\nV .EQU 10\n.ENDIF\n"
+            "_main:\n    HALT\n"
+        )
+        assert obj.define_snapshot["V"] == 20
+
+    def test_nested_conditionals(self):
+        obj = assemble(
+            ".IF 1\n"
+            ".IF 0\nV .EQU 1\n.ELSE\nV .EQU 2\n.ENDIF\n"
+            ".ELSE\nV .EQU 3\n.ENDIF\n"
+            "_main:\n    HALT\n"
+        )
+        assert obj.define_snapshot["V"] == 2
+
+    def test_skipped_region_not_assembled(self):
+        # Junk inside a false branch must be ignored entirely.
+        obj = assemble(
+            ".IF 0\n"
+            "    BOGUS_INSTRUCTION d9\n"
+            ".ENDIF\n"
+            "_main:\n    HALT\n"
+        )
+        assert "_main" in obj.symbols
+
+    def test_else_without_if_rejected(self):
+        with pytest.raises(DirectiveError, match="without"):
+            assemble(".ELSE\n_main:\n    HALT\n")
+
+    def test_unclosed_if_rejected(self):
+        with pytest.raises(DirectiveError, match="missing .ENDIF"):
+            assemble(".IF 1\n_main:\n    HALT\n")
+
+    def test_duplicate_else_rejected(self):
+        with pytest.raises(DirectiveError, match="duplicate"):
+            assemble(".IF 1\n.ELSE\n.ELSE\n.ENDIF\n_main:\n    HALT\n")
+
+    def test_error_directive_fires_in_active_region(self):
+        with pytest.raises(DirectiveError, match="no derivative"):
+            assemble('.ERROR "no derivative"\n')
+
+    def test_error_directive_skipped_in_inactive_region(self):
+        obj = assemble(
+            '.IF 0\n.ERROR "never"\n.ENDIF\n_main:\n    HALT\n'
+        )
+        assert "_main" in obj.symbols
+
+
+class TestMacros:
+    def test_simple_macro(self):
+        obj = assemble(
+            ".MACRO LOAD_TWO ra, rb, val\n"
+            "    LOAD ra, val\n"
+            "    LOAD rb, val\n"
+            ".ENDM\n"
+            "_main:\n"
+            "    LOAD_TWO d1, d2, 7\n"
+            "    HALT\n"
+        )
+        text = obj.section("text")
+        assert text.read_word(4) == 7
+        assert text.read_word(12) == 7
+
+    def test_macro_unique_label_counter(self):
+        obj = assemble(
+            ".MACRO SPIN n\n"
+            "spin_\\@:\n"
+            "    DJNZ n, spin_\\@\n"
+            ".ENDM\n"
+            "_main:\n"
+            "    SPIN d1\n"
+            "    SPIN d2\n"
+            "    HALT\n"
+        )
+        labels = [s for s in obj.symbols if s.startswith("spin_")]
+        assert len(labels) == 2
+
+    def test_macro_wrong_arity_rejected(self):
+        with pytest.raises(ParseError, match="argument"):
+            assemble(
+                ".MACRO M a, b\n    NOP\n.ENDM\n_main:\n    M 1\n    HALT\n"
+            )
+
+    def test_unterminated_macro_rejected(self):
+        with pytest.raises(DirectiveError, match="missing .ENDM"):
+            assemble(".MACRO M\n    NOP\n")
+
+    def test_nested_macro_definition_rejected(self):
+        with pytest.raises(DirectiveError, match="nested"):
+            assemble(".MACRO A\n.MACRO B\n.ENDM\n.ENDM\n")
+
+    def test_endm_without_macro_rejected(self):
+        with pytest.raises(DirectiveError, match="without"):
+            assemble(".ENDM\n")
+
+
+class TestSectionsAndData:
+    def test_word_data(self):
+        obj = assemble(
+            "_main:\n    HALT\n"
+            ".SECTION data\n"
+            "values:\n    .WORD 1, 2, 0xFFFFFFFF\n"
+        )
+        data = obj.section("data")
+        assert data.read_word(0) == 1
+        assert data.read_word(4) == 2
+        assert data.read_word(8) == 0xFFFF_FFFF
+
+    def test_word_with_symbol_emits_relocation(self):
+        obj = assemble(
+            "_main:\n    HALT\n"
+            ".SECTION vectors\n"
+            ".WORD handler\n"
+        )
+        assert any(r.symbol == "handler" for r in obj.relocations)
+
+    def test_half_and_byte(self):
+        obj = assemble(
+            "_main:\n    HALT\n"
+            ".SECTION data\n"
+            "    .HALF 0x1234\n    .BYTE 0xAB, 1\n"
+        )
+        data = obj.section("data").data
+        assert data[:2] == b"\x34\x12"
+        assert data[2] == 0xAB and data[3] == 1
+
+    def test_byte_range_checked(self):
+        with pytest.raises(Exception):
+            assemble("_main:\n    HALT\n.SECTION d\n    .BYTE 256\n")
+
+    def test_ascii_and_asciiz(self):
+        obj = assemble(
+            "_main:\n    HALT\n"
+            '.SECTION data\n    .ASCII "AB"\n    .ASCIIZ "C"\n'
+        )
+        assert bytes(obj.section("data").data) == b"ABC\x00"
+
+    def test_space_reserves_zeroes(self):
+        obj = assemble(
+            "_main:\n    HALT\n.SECTION data\n    .SPACE 8\n    .BYTE 1\n"
+        )
+        assert bytes(obj.section("data").data) == b"\x00" * 8 + b"\x01"
+
+    def test_align_pads(self):
+        obj = assemble(
+            "_main:\n    HALT\n"
+            ".SECTION data\n    .BYTE 1\n    .ALIGN 4\n    .WORD 2\n"
+        )
+        data = obj.section("data")
+        assert data.size == 8
+        assert data.read_word(4) == 2
+
+    def test_align_non_power_of_two_rejected(self):
+        with pytest.raises(DirectiveError, match="power of two"):
+            assemble("_main:\n    HALT\n.ALIGN 3\n")
+
+    def test_org_sets_section_base(self):
+        obj = assemble(
+            ".SECTION vectors\n.ORG 0\n    .WORD 0\n_main:\n"
+            ".SECTION text\n    HALT\n"
+        )
+        assert obj.section("vectors").org == 0
+
+    def test_org_after_emission_rejected(self):
+        with pytest.raises(DirectiveError, match="before any bytes"):
+            assemble("    .WORD 1\n.ORG 0x100\n_main:\n    HALT\n")
+
+    def test_end_stops_processing(self):
+        obj = assemble("_main:\n    HALT\n.END\nGARBAGE_LINE !!!\n")
+        assert "_main" in obj.symbols
+
+    def test_include_via_provider(self):
+        obj = assemble(
+            '.INCLUDE "defs.inc"\n_main:\n    LOAD d0, MAGIC\n    HALT\n',
+            files={"defs.inc": "MAGIC .EQU 0x42\n"},
+        )
+        assert obj.define_snapshot["MAGIC"] == 0x42
+        assert "defs.inc" in obj.included_files
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(DirectiveError, match="unknown directive"):
+            assemble(".FROBNICATE 3\n")

@@ -1,0 +1,208 @@
+"""Tests for instruction parsing, overload resolution and encoding."""
+
+import pytest
+
+from repro.assembler.assembler import Assembler
+from repro.assembler.errors import EncodingError, ParseError
+from repro.isa.encoding import decode_word, opcode_of
+from repro.isa.instructions import Opcode
+
+
+def assemble_text_words(body: str, predefines=None) -> list[int]:
+    asm = Assembler(predefines=predefines)
+    obj = asm.assemble_source(f"_main:\n{body}\n", "unit.asm")
+    section = obj.section("text")
+    return [
+        section.read_word(offset) for offset in range(0, section.size, 4)
+    ]
+
+
+class TestOverloadResolution:
+    def test_load_immediate_data_register(self):
+        words = assemble_text_words("    LOAD d3, 0x12345678")
+        assert opcode_of(words[0]) == Opcode.LOAD_D
+        assert words[1] == 0x12345678
+
+    def test_load_immediate_address_register(self):
+        words = assemble_text_words("    LOAD a9, 0x200")
+        assert opcode_of(words[0]) == Opcode.LOAD_A
+
+    def test_load_absolute_memory(self):
+        words = assemble_text_words("    LOAD d1, [0xF0001000]")
+        assert opcode_of(words[0]) == Opcode.LDABS_D
+        assert words[1] == 0xF0001000
+
+    def test_store_absolute(self):
+        words = assemble_text_words("    STORE [0x10000000], d7")
+        assert opcode_of(words[0]) == Opcode.STABS_D
+        fields = decode_word(
+            __import__("repro.isa.encoding", fromlist=["Format"]).Format.ABS,
+            words[0],
+        )
+        assert fields["r1"] == 7
+
+    def test_call_direct_vs_indirect(self):
+        direct = assemble_text_words("    CALL 0x400")
+        indirect = assemble_text_words("    CALL a12")
+        assert opcode_of(direct[0]) == Opcode.CALL_ABS
+        assert opcode_of(indirect[0]) == Opcode.CALL_IND
+
+    def test_mov_bank_selection(self):
+        dd = assemble_text_words("    MOV d1, d2")
+        aa = assemble_text_words("    MOV a1, a2")
+        da = assemble_text_words("    MOV d1, a2")
+        ad = assemble_text_words("    MOV a1, d2")
+        assert opcode_of(dd[0]) == Opcode.MOV_DD
+        assert opcode_of(aa[0]) == Opcode.MOV_AA
+        assert opcode_of(da[0]) == Opcode.MOV_DA
+        assert opcode_of(ad[0]) == Opcode.MOV_AD
+
+    def test_push_pop_banks(self):
+        assert opcode_of(assemble_text_words("    PUSH d1")[0]) == Opcode.PUSH_D
+        assert opcode_of(assemble_text_words("    PUSH a1")[0]) == Opcode.PUSH_A
+        assert opcode_of(assemble_text_words("    POP d1")[0]) == Opcode.POP_D
+        assert opcode_of(assemble_text_words("    POP a1")[0]) == Opcode.POP_A
+
+    def test_no_matching_overload_reports_shapes(self):
+        with pytest.raises(ParseError, match="no form of 'LOAD'"):
+            assemble_text_words("    LOAD 5, d1")
+
+
+class TestMemoryOperands:
+    def test_indirect_with_offset(self):
+        words = assemble_text_words("    LD.W d2, [a4 + 8]")
+        assert opcode_of(words[0]) == Opcode.LD_W
+        assert words[0] & 0xFFFF == 8
+        assert (words[0] >> 16) & 0xF == 4
+
+    def test_indirect_without_offset(self):
+        words = assemble_text_words("    LD.W d2, [a4]")
+        assert words[0] & 0xFFFF == 0
+
+    def test_negative_offset_encoded_twos_complement(self):
+        words = assemble_text_words("    ST.W [a4 - 4], d2")
+        assert words[0] & 0xFFFF == 0xFFFC
+
+    def test_offset_out_of_range_rejected(self):
+        with pytest.raises(EncodingError, match="out of range"):
+            assemble_text_words("    LD.W d2, [a4 + 0x10000]")
+
+    def test_store_operand_order(self):
+        words = assemble_text_words("    ST.W [a5], d9")
+        assert (words[0] >> 20) & 0xF == 9  # r1 = data source
+        assert (words[0] >> 16) & 0xF == 5  # r2 = address base
+
+    def test_unterminated_memory_operand(self):
+        with pytest.raises(ParseError):
+            assemble_text_words("    LD.W d2, [a4")
+
+
+class TestBitFieldInstructions:
+    def test_insert_paper_form(self):
+        # INSERT d14, d14, 8, 0, 5 — the Figure 6 instruction verbatim.
+        words = assemble_text_words("    INSERT d14, d14, 8, 0, 5")
+        assert opcode_of(words[0]) == Opcode.INSERT
+        assert words[1] == 8
+        from repro.isa.encoding import Format
+
+        fields = decode_word(Format.BIT, words[0])
+        assert fields == {"r1": 14, "r2": 14, "pos": 0, "width": 5}
+
+    def test_insert_with_equ_operands(self):
+        asm = Assembler()
+        obj = asm.assemble_source(
+            "POS .EQU 3\nWIDTH .EQU 6\nVAL .EQU 9\n"
+            "_main:\n    INSERT d1, d2, VAL, POS, WIDTH\n    HALT\n",
+            "unit.asm",
+        )
+        section = obj.section("text")
+        from repro.isa.encoding import Format
+
+        fields = decode_word(Format.BIT, section.read_word(0))
+        assert fields["pos"] == 3 and fields["width"] == 6
+        assert section.read_word(4) == 9
+
+    def test_insertr_register_value(self):
+        words = assemble_text_words("    INSERTR d1, d2, d3, 4, 5")
+        assert opcode_of(words[0]) == Opcode.INSERTR
+
+    def test_width_zero_rejected(self):
+        with pytest.raises(EncodingError, match="field width"):
+            assemble_text_words("    EXTRU d1, d2, 0, 0")
+
+    def test_pos_out_of_range_rejected(self):
+        with pytest.raises(EncodingError, match="bit position"):
+            assemble_text_words("    EXTRU d1, d2, 32, 1")
+
+
+class TestImmediates:
+    def test_signed_immediate_range(self):
+        assemble_text_words("    ADDI d1, d2, -32768")
+        assemble_text_words("    ADDI d1, d2, 32767")
+        with pytest.raises(EncodingError):
+            assemble_text_words("    ADDI d1, d2, 40000")
+
+    def test_unsigned_immediate_range(self):
+        assemble_text_words("    ANDI d1, d2, 0xFFFF")
+        with pytest.raises(EncodingError):
+            assemble_text_words("    ANDI d1, d2, 0x10000")
+
+    def test_trap_number_range(self):
+        assemble_text_words("    TRAP 255")
+        with pytest.raises(EncodingError):
+            assemble_text_words("    TRAP 256")
+
+    def test_imm16_cannot_be_symbolic(self):
+        with pytest.raises(Exception, match="absolute"):
+            assemble_text_words("    ADDI d1, d2, some_label")
+
+    def test_32bit_literal_range(self):
+        assemble_text_words("    LOAD d0, 0xFFFFFFFF")
+        assemble_text_words("    LOAD d0, -2147483648")
+        with pytest.raises(EncodingError):
+            assemble_text_words("    LOAD d0, 0x1FFFFFFFF")
+
+
+class TestLabelsAndRelocations:
+    def test_local_label_creates_relocation(self):
+        asm = Assembler()
+        obj = asm.assemble_source(
+            "_main:\n    JMP done\n    NOP\ndone:\n    HALT\n", "u.asm"
+        )
+        relocs = [r for r in obj.relocations if r.symbol == "done"]
+        assert len(relocs) == 1
+        assert relocs[0].offset == 4  # literal word of the JMP
+
+    def test_extern_symbol_recorded(self):
+        asm = Assembler()
+        obj = asm.assemble_source(
+            "_main:\n    CALL Base_Report_Pass\n", "u.asm"
+        )
+        assert "Base_Report_Pass" in obj.externs
+        assert "Base_Report_Pass" in obj.undefined_symbols()
+
+    def test_label_with_statement_on_same_line(self):
+        asm = Assembler()
+        obj = asm.assemble_source("_main:    HALT\n", "u.asm")
+        assert obj.symbols["_main"].offset == 0
+        assert obj.section("text").size == 4
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(Exception, match="duplicate"):
+            Assembler().assemble_source(
+                "_main:\n    NOP\n_main:\n    HALT\n", "u.asm"
+            )
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ParseError, match="unknown instruction"):
+            assemble_text_words("    FNORD d1")
+
+    def test_symbol_plus_offset_relocation(self):
+        asm = Assembler()
+        obj = asm.assemble_source(
+            "_main:\n    LOAD a4, table + 8\n    HALT\n"
+            ".SECTION data\ntable:\n    .WORD 1, 2, 3\n",
+            "u.asm",
+        )
+        reloc = next(r for r in obj.relocations if r.symbol == "table")
+        assert reloc.addend == 8

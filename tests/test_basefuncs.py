@@ -1,0 +1,223 @@
+"""Tests for the generated Base_Functions.asm library."""
+
+import pytest
+
+from repro.core.basefuncs import generate_base_functions
+from repro.core.environment import ModuleTestEnvironment, TestCell
+from repro.core.targets import TARGET_GOLDEN
+from repro.platforms.base import RunStatus
+from repro.soc.derivatives import SC88A, SC88B, SC88C, SC88D, all_derivatives
+
+
+def run_snippet(body: str, derivative=SC88A, extras=None):
+    """Run a test body against the full abstraction + global layers."""
+    env = ModuleTestEnvironment("LIBTEST", extras=extras or {})
+    env.add_test(
+        TestCell(
+            name="TEST_SNIPPET",
+            source=f".INCLUDE Globals.inc\n_main:\n{body}",
+        )
+    )
+    return env.run_test("TEST_SNIPPET", derivative)
+
+
+class TestGeneration:
+    def test_all_wrappers_present(self):
+        text = generate_base_functions(all_derivatives())
+        for name in (
+            "Base_Report_Pass",
+            "Base_Report_Fail",
+            "Base_Check_EQ",
+            "Base_Init_Register",
+            "Base_Select_Page",
+            "Base_NVM_Program_Page",
+            "Base_NVM_Erase_Page",
+            "Base_UART_Send",
+            "Base_UART_Recv",
+            "Base_Timer_Delay",
+            "Base_WDT_Service",
+            "Base_Fill_Pattern",
+            "Base_Compare_Block",
+            "Base_Checksum",
+        ):
+            assert f"{name}:" in text, name
+
+    def test_v2_wrapper_emitted_only_when_needed(self):
+        with_v2 = generate_base_functions([SC88A, SC88D])
+        without_v2 = generate_base_functions([SC88A, SC88B])
+        assert "ES_InitRegister" in with_v2
+        assert ".IFDEF DERIVATIVE_SC88D" in with_v2
+        assert "ES_InitRegister" not in without_v2
+
+    def test_no_hardwired_sfr_addresses(self):
+        """The paper's critical rule: base functions use only defines."""
+        import re
+
+        text = generate_base_functions(all_derivatives())
+        for match in re.finditer(r"0[xX][0-9a-fA-F_]+", text):
+            value = int(match.group(0), 16)
+            assert not (0xF000_0000 <= value < 0xF001_0000), match.group(0)
+
+
+class TestReporting:
+    def test_report_pass(self):
+        result = run_snippet("    JMP Base_Report_Pass\n")
+        assert result.status is RunStatus.PASS
+        assert (result.done_pin, result.pass_pin) == (1, 1)
+
+    def test_report_fail(self):
+        result = run_snippet("    JMP Base_Report_Fail\n")
+        assert result.status is RunStatus.FAIL
+        assert (result.done_pin, result.pass_pin) == (1, 0)
+
+    def test_check_eq_mismatch_fails(self):
+        result = run_snippet(
+            "    LOAD d4, 1\n    LOAD d5, 2\n    CALL Base_Check_EQ\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert result.status is RunStatus.FAIL
+
+
+class TestFirmwareWrappers:
+    @pytest.mark.parametrize(
+        "derivative", [SC88A, SC88D], ids=["es_v1", "es_v2"]
+    )
+    def test_init_register_across_firmware_versions(self, derivative):
+        body = (
+            "    LOAD a4, UART_BAUD_ADDR\n"
+            "    LOAD d4, 0x99\n"
+            "    CALL Base_Init_Register\n"
+            "    LOAD d4, [UART_BAUD_ADDR]\n"
+            "    LOAD d5, 0x99\n"
+            "    CALL Base_Check_EQ\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert run_snippet(body, derivative).passed
+
+    @pytest.mark.parametrize(
+        "derivative,expected", [(SC88A, 1), (SC88D, 2)], ids=["v1", "v2"]
+    )
+    def test_get_es_version(self, derivative, expected):
+        body = (
+            "    CALL Base_Get_ES_Version\n"
+            "    MOV d4, d2\n"
+            f"    LOAD d5, {expected}\n"
+            "    CALL Base_Check_EQ\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert run_snippet(body, derivative).passed
+
+    @pytest.mark.parametrize("derivative", [SC88A, SC88D], ids=["v1", "v2"])
+    def test_checksum_wrapper(self, derivative):
+        body = (
+            "    LOAD a4, SCRATCH_ADDR\n"
+            "    LOAD d4, 0xAAAA0001\n"
+            "    LOAD d5, 4\n"
+            "    CALL Base_Fill_Pattern\n"
+            "    LOAD a4, SCRATCH_ADDR\n"
+            "    LOAD d4, 4\n"
+            "    CALL Base_Checksum\n"
+            "    CMPI d2, 0\n"
+            "    JZ Base_Report_Fail\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert run_snippet(body, derivative).passed
+
+
+class TestNvmFunctions:
+    @pytest.mark.parametrize(
+        "derivative", all_derivatives(), ids=lambda d: d.name
+    )
+    def test_program_and_verify_page(self, derivative):
+        body = (
+            "    LOAD d4, 0\n"
+            "    LOAD d5, 0x12345678\n"
+            "    CALL Base_NVM_Write_Buffer_Word\n"
+            "    LOAD d4, 9\n"
+            "    CALL Base_NVM_Program_Page\n"
+            "    CMPI d2, 0\n"
+            "    JNZ Base_Report_Fail\n"
+            "    LOAD a4, NVM_ARRAY_BASE + 9 * NVM_PAGE_BYTES\n"
+            "    LD.W d4, [a4]\n"
+            "    LOAD d5, 0x12345678\n"
+            "    CALL Base_Check_EQ\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert run_snippet(body, derivative).passed, derivative.name
+
+    def test_erase_page(self):
+        body = (
+            "    LOAD d4, 2\n"
+            "    CALL Base_NVM_Erase_Page\n"
+            "    CMPI d2, 0\n"
+            "    JNZ Base_Report_Fail\n"
+            "    LOAD a4, NVM_ARRAY_BASE + 2 * NVM_PAGE_BYTES\n"
+            "    LD.W d4, [a4]\n"
+            "    LOAD d5, 0xFFFFFFFF\n"
+            "    CALL Base_Check_EQ\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert run_snippet(body).passed
+
+    def test_select_page_reads_back(self):
+        body = (
+            "    LOAD d4, 5\n"
+            "    CALL Base_Select_Page\n"
+            "    LOAD d4, [NVM_CTRL_ADDR]\n"
+            "    EXTRU d4, d4, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE\n"
+            "    LOAD d5, 5\n"
+            "    CALL Base_Check_EQ\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        for derivative in (SC88A, SC88C):  # different field positions
+            assert run_snippet(body, derivative).passed, derivative.name
+
+
+class TestUartTimerWdt:
+    def test_uart_loopback_roundtrip(self):
+        body = (
+            "    CALL Base_UART_Enable_Loopback\n"
+            "    LOAD d4, 0x5A\n"
+            "    CALL Base_UART_Send\n"
+            "    CALL Base_UART_Recv\n"
+            "    MOV d4, d2\n"
+            "    LOAD d5, 0x5A\n"
+            "    CALL Base_Check_EQ\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert run_snippet(body).passed
+
+    def test_uart_recv_timeout_returns_sentinel(self):
+        body = (
+            "    CALL Base_UART_Enable\n"
+            "    CALL Base_UART_Recv\n"
+            "    LOAD d5, 0xFFFFFFFF\n"
+            "    MOV d4, d2\n"
+            "    CALL Base_Check_EQ\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert run_snippet(body).passed
+
+    def test_timer_delay_completes(self):
+        body = (
+            "    LOAD d4, 30\n"
+            "    CALL Base_Timer_Delay\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        result = run_snippet(body)
+        assert result.passed
+
+    @pytest.mark.parametrize("derivative", [SC88A, SC88D], ids=["keyA5", "key5A"])
+    def test_wdt_service_uses_derivative_key(self, derivative):
+        body = (
+            "    LOAD a4, WDT_CTRL_ADDR\n"
+            "    LOAD d4, 1 | (3000 << 8)\n"
+            "    CALL Base_Init_Register\n"
+            "    LOAD d4, 50\n"
+            "    CALL Base_Timer_Delay\n"
+            "    CALL Base_WDT_Service\n"
+            "    LOAD d4, 50\n"
+            "    CALL Base_Timer_Delay\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert run_snippet(body, derivative).passed

@@ -1,0 +1,272 @@
+"""Execution-semantics tests for ALU, move and bit-field instructions.
+
+Each test assembles a small program, runs it on a bare CPU + RAM/ROM bus
+and checks architectural state — the golden model's ground truth.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.assembler.assembler import Assembler
+from repro.assembler.linker import Linker
+from repro.platforms.cpu import CpuCore
+from repro.soc.bus import Bus, Memory
+
+RAM_BASE = 0x1000_0000
+TEXT_BASE = 0x0000_0200
+
+
+def run_program(body: str, max_steps: int = 10_000) -> CpuCore:
+    """Assemble *body* under ``_main:``, execute until HALT."""
+    asm = Assembler()
+    obj = asm.assemble_source(f"_main:\n{body}\n    HALT\n", "prog.asm")
+    image = Linker(text_base=TEXT_BASE, data_base=RAM_BASE).link([obj])
+    bus = Bus()
+    rom = Memory(0x8_0000, read_only=True)
+    ram = Memory(0x1_0000)
+    bus.attach("rom", 0, 0x8_0000, rom)
+    bus.attach("ram", RAM_BASE, 0x1_0000, ram)
+    for segment in image.segments:
+        if segment.base >= RAM_BASE:
+            ram.load(segment.base - RAM_BASE, segment.data)
+        else:
+            rom.load(segment.base, segment.data)
+    cpu = CpuCore(bus)
+    cpu.reset(image.entry, RAM_BASE + 0xF000)
+    for _ in range(max_steps):
+        if cpu.halted:
+            break
+        cpu.step()
+    assert cpu.halted, "program did not halt"
+    return cpu
+
+
+def d(cpu: CpuCore, index: int) -> int:
+    return cpu.regs.data[index]
+
+
+class TestMoves:
+    def test_load_immediate(self):
+        cpu = run_program("    LOAD d5, 0xDEADBEEF")
+        assert d(cpu, 5) == 0xDEADBEEF
+
+    def test_movi_sign_extends(self):
+        cpu = run_program("    MOVI d1, -2")
+        assert d(cpu, 1) == 0xFFFF_FFFE
+
+    def test_movhi(self):
+        cpu = run_program("    MOVHI d1, 0x1234")
+        assert d(cpu, 1) == 0x1234_0000
+
+    def test_mov_between_banks(self):
+        cpu = run_program(
+            "    LOAD d1, 77\n    MOV a3, d1\n    MOV d2, a3\n"
+        )
+        assert d(cpu, 2) == 77
+        assert cpu.regs.address[3] == 77
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("ADD", 2, 3, 5),
+            ("SUB", 10, 4, 6),
+            ("AND", 0xFF, 0x0F, 0x0F),
+            ("OR", 0xF0, 0x0F, 0xFF),
+            ("XOR", 0xFF, 0x0F, 0xF0),
+            ("MUL", 7, 6, 42),
+            ("DIVU", 20, 6, 3),
+        ],
+    )
+    def test_rrr_ops(self, op, a, b, expected):
+        cpu = run_program(
+            f"    LOAD d1, {a}\n    LOAD d2, {b}\n    {op} d3, d1, d2\n"
+        )
+        assert d(cpu, 3) == expected
+
+    def test_add_wraps_and_sets_carry(self):
+        cpu = run_program(
+            "    LOAD d1, 0xFFFFFFFF\n    LOAD d2, 1\n    ADD d3, d1, d2\n"
+        )
+        assert d(cpu, 3) == 0
+        assert cpu.regs.psw.carry and cpu.regs.psw.zero
+
+    def test_addi_negative(self):
+        cpu = run_program("    LOAD d1, 10\n    ADDI d2, d1, -3\n")
+        assert d(cpu, 2) == 7
+
+    def test_not_neg(self):
+        cpu = run_program(
+            "    LOAD d1, 5\n    NOT d2, d1\n    NEG d3, d1\n"
+        )
+        assert d(cpu, 2) == ~5 & 0xFFFF_FFFF
+        assert d(cpu, 3) == (-5) & 0xFFFF_FFFF
+
+    def test_shift_immediate(self):
+        cpu = run_program(
+            "    LOAD d1, 0x80000001\n"
+            "    SHLI d2, d1, 1\n"
+            "    SHRI d3, d1, 1\n"
+            "    SARI d4, d1, 1\n"
+        )
+        assert d(cpu, 2) == 0x0000_0002
+        assert d(cpu, 3) == 0x4000_0000
+        assert d(cpu, 4) == 0xC000_0000
+
+    def test_shift_by_register(self):
+        cpu = run_program(
+            "    LOAD d1, 1\n    LOAD d2, 8\n    SHL d3, d1, d2\n"
+        )
+        assert d(cpu, 3) == 256
+
+    def test_cmp_sets_flags_without_write(self):
+        cpu = run_program(
+            "    LOAD d1, 5\n    LOAD d2, 5\n    CMP d1, d2\n"
+        )
+        assert cpu.regs.psw.zero
+        assert d(cpu, 1) == 5
+
+    @given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_add_matches_python(self, a, b):
+        cpu = run_program(
+            f"    LOAD d1, {a:#x}\n    LOAD d2, {b:#x}\n    ADD d3, d1, d2\n"
+        )
+        assert d(cpu, 3) == (a + b) & 0xFFFF_FFFF
+
+    @given(a=st.integers(0, 2**32 - 1), b=st.integers(1, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_divu_matches_python(self, a, b):
+        cpu = run_program(
+            f"    LOAD d1, {a:#x}\n    LOAD d2, {b:#x}\n    DIVU d3, d1, d2\n"
+        )
+        assert d(cpu, 3) == a // b
+
+
+class TestBitFields:
+    def test_insert_paper_example(self):
+        # Figure 6: insert page 8 into a 5-bit field at position 0.
+        cpu = run_program(
+            "    LOAD d14, 0\n    INSERT d14, d14, 8, 0, 5\n"
+        )
+        assert d(cpu, 14) == 8
+
+    def test_insert_preserves_other_bits(self):
+        cpu = run_program(
+            "    LOAD d1, 0xFFFFFFFF\n    INSERT d2, d1, 0, 8, 4\n"
+        )
+        assert d(cpu, 2) == 0xFFFF_F0FF
+
+    def test_insert_masks_oversized_value(self):
+        cpu = run_program(
+            "    LOAD d1, 0\n    INSERT d2, d1, 0xFF, 0, 4\n"
+        )
+        assert d(cpu, 2) == 0x0F
+
+    def test_insertr(self):
+        cpu = run_program(
+            "    LOAD d1, 0\n    LOAD d3, 5\n"
+            "    INSERTR d2, d1, d3, 4, 3\n"
+        )
+        assert d(cpu, 2) == 5 << 4
+
+    def test_extru_extrs(self):
+        cpu = run_program(
+            "    LOAD d1, 0xF0\n"
+            "    EXTRU d2, d1, 4, 4\n"
+            "    EXTRS d3, d1, 4, 4\n"
+        )
+        assert d(cpu, 2) == 0xF
+        assert d(cpu, 3) == 0xFFFF_FFFF  # sign-extended
+
+    def test_setb_clrb_tglb(self):
+        cpu = run_program(
+            "    LOAD d1, 0\n    SETB d1, 3\n    SETB d1, 5\n"
+            "    CLRB d1, 3\n    TGLB d1, 0\n"
+        )
+        assert d(cpu, 1) == (1 << 5) | 1
+
+    def test_tstb_sets_zero_on_clear_bit(self):
+        cpu = run_program(
+            "    LOAD d1, 2\n    TSTB d1, 0\n"
+            "    JZ was_clear\n    LOAD d2, 0\n    HALT\n"
+            "was_clear:\n    LOAD d2, 1\n"
+        )
+        assert d(cpu, 2) == 1
+
+    @given(
+        base=st.integers(0, 2**32 - 1),
+        value=st.integers(0, 2**32 - 1),
+        pos=st.integers(0, 31),
+        width=st.integers(1, 32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_insert_extract_round_trip(self, base, value, pos, width):
+        """INSERT then EXTRU recovers the (masked) inserted value —
+        the invariant Figure 6's methodology rests on."""
+        if pos + width > 32:
+            width = 32 - pos
+            if width == 0:
+                return
+        cpu = run_program(
+            f"    LOAD d1, {base:#x}\n"
+            f"    INSERT d2, d1, {value:#x}, {pos}, {width}\n"
+            f"    EXTRU d3, d2, {pos}, {width}\n"
+        )
+        mask = (1 << width) - 1
+        assert d(cpu, 3) == value & mask
+
+
+class TestMemoryInstructions:
+    def test_word_store_load_round_trip(self):
+        cpu = run_program(
+            f"    LOAD a4, {RAM_BASE:#x}\n"
+            "    LOAD d1, 0xCAFEBABE\n"
+            "    ST.W [a4], d1\n"
+            "    LD.W d2, [a4]\n"
+        )
+        assert d(cpu, 2) == 0xCAFEBABE
+
+    def test_byte_and_half_zero_extend(self):
+        cpu = run_program(
+            f"    LOAD a4, {RAM_BASE:#x}\n"
+            "    LOAD d1, 0xFFFF89AB\n"
+            "    ST.W [a4], d1\n"
+            "    LD.B d2, [a4]\n"
+            "    LD.H d3, [a4]\n"
+        )
+        assert d(cpu, 2) == 0xAB
+        assert d(cpu, 3) == 0x89AB
+
+    def test_store_byte_masks(self):
+        cpu = run_program(
+            f"    LOAD a4, {RAM_BASE:#x}\n"
+            "    LOAD d1, 0xFFFFFFFF\n"
+            "    ST.W [a4], d1\n"
+            "    LOAD d2, 0\n"
+            "    ST.B [a4], d2\n"
+            "    LD.W d3, [a4]\n"
+        )
+        assert d(cpu, 3) == 0xFFFF_FF00
+
+    def test_absolute_store_load(self):
+        address = RAM_BASE + 0x40
+        cpu = run_program(
+            "    LOAD d1, 1234\n"
+            f"    STORE [{address:#x}], d1\n"
+            f"    LOAD d2, [{address:#x}]\n"
+        )
+        assert d(cpu, 2) == 1234
+
+    def test_offset_addressing(self):
+        cpu = run_program(
+            f"    LOAD a4, {RAM_BASE + 8:#x}\n"
+            "    LOAD d1, 7\n"
+            "    ST.W [a4 + 4], d1\n"
+            f"    LOAD a5, {RAM_BASE + 12:#x}\n"
+            "    LD.W d2, [a5]\n"
+            "    LD.W d3, [a4 - 8]\n"
+        )
+        assert d(cpu, 2) == 7
+        assert d(cpu, 3) == 0  # untouched RAM reads zero

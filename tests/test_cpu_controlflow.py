@@ -1,0 +1,283 @@
+"""Execution tests for control flow, stack, traps and interrupts."""
+
+import pytest
+
+from repro.assembler.assembler import Assembler
+from repro.assembler.linker import Linker
+from repro.platforms.cpu import CpuCore, CpuFault
+from repro.soc.bus import Bus, Memory
+from repro.soc.peripherals.intc import InterruptController
+
+RAM_BASE = 0x1000_0000
+TEXT_BASE = 0x0000_0200
+
+
+def build_cpu(source: str, with_intc: bool = False):
+    asm = Assembler()
+    obj = asm.assemble_source(source, "prog.asm")
+    image = Linker(text_base=TEXT_BASE, data_base=RAM_BASE).link([obj])
+    bus = Bus()
+    rom = Memory(0x8_0000, read_only=True)
+    ram = Memory(0x1_0000)
+    bus.attach("rom", 0, 0x8_0000, rom)
+    bus.attach("ram", RAM_BASE, 0x1_0000, ram)
+    intc = None
+    if with_intc:
+        intc = InterruptController()
+        bus.attach("intc", 0xF000_0000, 0x100, intc)
+    for segment in image.segments:
+        if segment.base >= RAM_BASE:
+            ram.load(segment.base - RAM_BASE, segment.data)
+        else:
+            rom.load(segment.base, segment.data)
+    cpu = CpuCore(bus, intc=intc)
+    cpu.reset(image.entry, RAM_BASE + 0xF000)
+    return cpu, intc
+
+
+def run(source: str, max_steps: int = 20_000, with_intc: bool = False):
+    cpu, intc = build_cpu(source, with_intc)
+    for _ in range(max_steps):
+        if cpu.halted:
+            break
+        cpu.step()
+    assert cpu.halted
+    return cpu
+
+
+class TestJumps:
+    def test_unconditional_jump(self):
+        cpu = run(
+            "_main:\n    JMP over\n    LOAD d1, 1\n"
+            "over:\n    LOAD d2, 2\n    HALT\n"
+        )
+        assert cpu.regs.data[1] == 0
+        assert cpu.regs.data[2] == 2
+
+    @pytest.mark.parametrize(
+        "setup,jump,taken",
+        [
+            ("    LOAD d1, 5\n    CMPI d1, 5\n", "JZ", True),
+            ("    LOAD d1, 5\n    CMPI d1, 4\n", "JZ", False),
+            ("    LOAD d1, 5\n    CMPI d1, 4\n", "JNZ", True),
+            ("    LOAD d1, 3\n    CMPI d1, 7\n", "JC", True),  # borrow
+            ("    LOAD d1, 9\n    CMPI d1, 7\n", "JNC", True),
+            ("    LOAD d1, 3\n    CMPI d1, 7\n", "JN", True),
+            ("    LOAD d1, 9\n    CMPI d1, 7\n", "JNN", True),
+            ("    LOAD d1, 9\n    CMPI d1, 7\n", "JGE", True),
+            ("    LOAD d1, 3\n    CMPI d1, 7\n", "JLT", True),
+            ("    LOAD d1, 9\n    CMPI d1, 7\n", "JGT", True),
+            ("    LOAD d1, 7\n    CMPI d1, 7\n", "JLE", True),
+            ("    LOAD d1, 7\n    CMPI d1, 7\n", "JGT", False),
+        ],
+    )
+    def test_conditional_jumps(self, setup, jump, taken):
+        cpu = run(
+            f"_main:\n{setup}    {jump} yes\n"
+            "    LOAD d9, 2\n    HALT\n"
+            "yes:\n    LOAD d9, 1\n    HALT\n"
+        )
+        assert cpu.regs.data[9] == (1 if taken else 2)
+
+    def test_signed_comparison_wraps(self):
+        # -1 < 1 signed, but 0xFFFFFFFF > 1 unsigned.
+        cpu = run(
+            "_main:\n    LOAD d1, 0xFFFFFFFF\n    LOAD d2, 1\n"
+            "    CMP d1, d2\n    JLT neg\n"
+            "    LOAD d9, 2\n    HALT\n"
+            "neg:\n    LOAD d9, 1\n    HALT\n"
+        )
+        assert cpu.regs.data[9] == 1
+
+    def test_djnz_loop(self):
+        cpu = run(
+            "_main:\n    LOAD d1, 5\n    LOAD d2, 0\n"
+            "loop:\n    ADDI d2, d2, 3\n    DJNZ d1, loop\n    HALT\n"
+        )
+        assert cpu.regs.data[2] == 15
+        assert cpu.regs.data[1] == 0
+
+
+class TestCallsAndStack:
+    def test_call_return(self):
+        cpu = run(
+            "_main:\n    CALL fn\n    LOAD d2, 2\n    HALT\n"
+            "fn:\n    LOAD d1, 1\n    RETURN\n"
+        )
+        assert cpu.regs.data[1] == 1
+        assert cpu.regs.data[2] == 2
+
+    def test_indirect_call_via_paper_pattern(self):
+        cpu = run(
+            ".DEFINE CallAddr A12\n"
+            "_main:\n"
+            "    LOAD CallAddr, fn\n"
+            "    CALL CallAddr\n"
+            "    HALT\n"
+            "fn:\n    LOAD d1, 42\n    RETURN\n"
+        )
+        assert cpu.regs.data[1] == 42
+
+    def test_nested_calls(self):
+        cpu = run(
+            "_main:\n    CALL a_fn\n    HALT\n"
+            "a_fn:\n    CALL b_fn\n    ADDI d1, d1, 1\n    RETURN\n"
+            "b_fn:\n    LOAD d1, 10\n    RETURN\n"
+        )
+        assert cpu.regs.data[1] == 11
+
+    def test_push_pop_preserve(self):
+        cpu = run(
+            "_main:\n    LOAD d1, 7\n    LOAD a4, 0x123\n"
+            "    PUSH d1\n    PUSH a4\n"
+            "    LOAD d1, 0\n    LOAD a4, 0\n"
+            "    POP a4\n    POP d1\n    HALT\n"
+        )
+        assert cpu.regs.data[1] == 7
+        assert cpu.regs.address[4] == 0x123
+
+    def test_stack_pointer_balance(self):
+        cpu, _ = build_cpu("_main:\n    CALL fn\n    HALT\nfn:\n    RETURN\n")
+        initial_sp = cpu.regs.sp
+        while not cpu.halted:
+            cpu.step()
+        assert cpu.regs.sp == initial_sp
+
+
+class TestTraps:
+    VECTORS = (
+        ".SECTION vectors\n.ORG 0\n"
+        "    .WORD 0\n"          # 0: reset
+        "    .WORD handler\n"    # 1: div-zero
+        "    .WORD handler\n"    # 2: illegal
+        "    .WORD 0\n"          # 3: misaligned (unhandled)
+        "    .WORD handler\n"    # 4: bus error
+        "    .WORD 0, 0, 0\n"
+        "    .WORD handler\n"    # 8: irq line 0
+        ".SECTION text\n"
+    )
+
+    def test_software_trap_and_reti(self):
+        cpu = run(
+            self.VECTORS
+            + "_main:\n    TRAP 1\n    LOAD d2, 2\n    HALT\n"
+            "handler:\n    LOAD d1, 1\n    RETI\n"
+        )
+        assert cpu.regs.data[1] == 1
+        assert cpu.regs.data[2] == 2  # resumed after the trap
+
+    def test_trap_disables_interrupts_until_reti(self):
+        cpu = run(
+            self.VECTORS
+            + "_main:\n    EI\n    TRAP 1\n    RDPSW d3\n    HALT\n"
+            "handler:\n    RDPSW d1\n    RETI\n"
+        )
+        assert cpu.regs.data[1] & 0x80 == 0   # IE clear inside handler
+        assert cpu.regs.data[3] & 0x80 == 0x80  # restored by RETI
+
+    def test_divide_by_zero_traps(self):
+        cpu = run(
+            self.VECTORS
+            + "_main:\n    LOAD d1, 5\n    LOAD d2, 0\n"
+            "    DIVU d3, d1, d2\n    HALT\n"
+            "handler:\n    LOAD d9, 1\n    RETI\n"
+        )
+        assert cpu.regs.data[9] == 1
+
+    def test_unhandled_trap_faults(self):
+        cpu, _ = build_cpu("_main:\n    TRAP 7\n    HALT\n")
+        with pytest.raises(CpuFault, match="unhandled trap"):
+            for _ in range(10):
+                cpu.step()
+
+    def test_bus_error_traps(self):
+        cpu = run(
+            self.VECTORS
+            + "_main:\n    LOAD d1, [0x70000000]\n    HALT\n"
+            "handler:\n    LOAD d9, 4\n    RETI\n"
+        )
+        assert cpu.regs.data[9] == 4
+
+    def test_illegal_opcode_traps(self):
+        cpu = run(
+            self.VECTORS
+            + "_main:\n    .WORD 0xFF000000\n    HALT\n"
+            "handler:\n    LOAD d9, 2\n    RETI\n"
+        )
+        assert cpu.regs.data[9] == 2
+
+
+class TestInterrupts:
+    def test_pending_line_taken_when_enabled(self):
+        source = TestTraps.VECTORS + (
+            "_main:\n    EI\n"
+            "    NOP\n    NOP\n    HALT\n"
+            "handler:\n    LOAD d9, 1\n"
+            # acknowledge: clear pending line 0 in the INTC
+            "    LOAD a6, 0xF0000004\n"
+            "    LOAD d6, 1\n"
+            "    ST.W [a6], d6\n"
+            "    RETI\n"
+        )
+        cpu, intc = build_cpu(source, with_intc=True)
+        intc.set_reg("INT_EN", 1)
+        intc.raise_line(0)
+        for _ in range(100):
+            if cpu.halted:
+                break
+            cpu.step()
+        assert cpu.halted
+        assert cpu.regs.data[9] == 1
+
+    def test_masked_interrupt_not_taken(self):
+        source = TestTraps.VECTORS + (
+            "_main:\n    NOP\n    NOP\n    HALT\n"
+            "handler:\n    LOAD d9, 1\n    RETI\n"
+        )
+        cpu, intc = build_cpu(source, with_intc=True)
+        intc.set_reg("INT_EN", 1)
+        intc.raise_line(0)
+        # IE never set -> interrupt must not fire.
+        for _ in range(100):
+            if cpu.halted:
+                break
+            cpu.step()
+        assert cpu.regs.data[9] == 0
+
+
+class TestTiming:
+    def test_cycle_accounting_with_waits(self):
+        source = "_main:\n    LOAD d1, 5\n    HALT\n"
+        asm = Assembler()
+        obj = asm.assemble_source(source, "prog.asm")
+        image = Linker(text_base=TEXT_BASE, data_base=RAM_BASE).link([obj])
+
+        def executed_cycles(charge: bool) -> int:
+            bus = Bus()
+            rom = Memory(0x8_0000, read_only=True)
+            bus.attach("rom", 0, 0x8_0000, rom, wait_states=2)
+            for segment in image.segments:
+                rom.load(segment.base, segment.data)
+            cpu = CpuCore(bus, charge_wait_states=charge)
+            cpu.reset(image.entry, 0)
+            while not cpu.halted:
+                cpu.step()
+            return cpu.cycles
+
+        assert executed_cycles(True) > executed_cycles(False)
+
+    def test_instructions_retired_counted(self):
+        cpu = run("_main:\n    NOP\n    NOP\n    NOP\n    HALT\n")
+        assert cpu.instructions_retired == 4
+
+    def test_brk_records_event_and_continues(self):
+        cpu = run("_main:\n    BRK\n    LOAD d1, 1\n    HALT\n")
+        assert len(cpu.brk_events) == 1
+        assert cpu.regs.data[1] == 1
+
+    def test_trace_capture(self):
+        cpu, _ = build_cpu("_main:\n    NOP\n    HALT\n")
+        cpu.enable_trace()
+        while not cpu.halted:
+            cpu.step()
+        assert [t.mnemonic for t in cpu.trace] == ["NOP", "HALT"]

@@ -1,0 +1,162 @@
+"""Tests for constrained-random Globals generation and coverage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coverage import CoverageCollector
+from repro.core.crg import (
+    DefineConstraint,
+    RandomGlobalsGenerator,
+    coverage_of_campaign,
+)
+from repro.core.targets import TARGET_GOLDEN
+from repro.core.workloads import make_nvm_environment
+from repro.soc.derivatives import SC88A, SC88B
+
+
+def build_env(extras):
+    return make_nvm_environment(
+        2,
+        page_overrides={
+            1: extras["TEST1_TARGET_PAGE"],
+            2: extras["TEST2_TARGET_PAGE"],
+        },
+    )
+
+
+def page_generator(seed=0, high=31):
+    return RandomGlobalsGenerator(
+        build_env,
+        [
+            DefineConstraint("TEST1_TARGET_PAGE", 0, high),
+            DefineConstraint("TEST2_TARGET_PAGE", 0, high),
+        ],
+        seed=seed,
+    )
+
+
+class TestConstraints:
+    def test_draw_within_bounds(self):
+        constraint = DefineConstraint("X", 5, 10)
+        import random
+
+        for _ in range(50):
+            assert 5 <= constraint.draw(random.Random()) <= 10
+
+    def test_predicate_filters(self):
+        constraint = DefineConstraint(
+            "X", 0, 100, predicate=lambda v: v % 2 == 0
+        )
+        import random
+
+        assert constraint.draw(random.Random(1)) % 2 == 0
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="empty range"):
+            DefineConstraint("X", 10, 5)
+
+    def test_unsatisfiable_predicate_rejected(self):
+        constraint = DefineConstraint(
+            "X", 0, 10, predicate=lambda v: False
+        )
+        import random
+
+        with pytest.raises(ValueError, match="rejected"):
+            constraint.draw(random.Random(1))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RandomGlobalsGenerator(
+                build_env,
+                [
+                    DefineConstraint("X", 0, 1),
+                    DefineConstraint("X", 0, 1),
+                ],
+            )
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        gen = page_generator(seed=7)
+        assert gen.draw(0) == gen.draw(0)
+        assert gen.draw(0) != gen.draw(1) or gen.draw(0) != gen.draw(2)
+
+    def test_different_master_seeds_differ(self):
+        draws_a = [page_generator(seed=1).draw(i) for i in range(4)]
+        draws_b = [page_generator(seed=2).draw(i) for i in range(4)]
+        assert draws_a != draws_b
+
+    def test_campaign_all_pass(self):
+        campaign = page_generator().campaign(4, SC88A)
+        assert all(instance.all_pass for instance in campaign)
+
+    def test_campaign_on_wide_derivative(self):
+        gen = page_generator(high=63)
+        campaign = gen.campaign(3, SC88B)  # 64 pages
+        assert all(instance.all_pass for instance in campaign)
+
+    def test_coverage_grows_with_campaign_size(self):
+        gen = page_generator()
+        small = coverage_of_campaign(
+            gen.campaign(2, SC88A), "TEST1_TARGET_PAGE"
+        )
+        large = coverage_of_campaign(
+            gen.campaign(8, SC88A), "TEST1_TARGET_PAGE"
+        )
+        assert len(large) >= len(small)
+
+    def test_instance_without_run(self):
+        instance = page_generator().instance(0, SC88A, run=False)
+        assert instance.results == {}
+        assert not instance.all_pass
+
+
+class TestCoverageCollector:
+    def run_and_collect(self, num_tests=3):
+        env = make_nvm_environment(num_tests)
+        collector = CoverageCollector(SC88A)
+        for cell_name in env.cells:
+            artifacts = env.build_image(cell_name, SC88A, TARGET_GOLDEN)
+            platform = TARGET_GOLDEN.make_platform()
+            platform.record_bus_trace = True
+            platform.run(artifacts.image, SC88A)
+            collector.observe_platform(platform)
+        return collector
+
+    def test_nvm_pages_covered(self):
+        collector = self.run_and_collect(3)
+        assert len(collector.report.nvm_pages_programmed) == 3
+        assert collector.report.nvm_pages_total == 32
+
+    def test_registers_written_tracked(self):
+        collector = self.run_and_collect(1)
+        assert "NVM.NVM_CTRL" in collector.report.registers_written
+        assert collector.report.register_ratio > 0
+
+    def test_field_values_tracked(self):
+        collector = self.run_and_collect(2)
+        page_field = collector.report.fields["NVM.NVM_CTRL.PAGE"]
+        assert page_field.bins_hit >= 2
+
+    def test_summary_renders(self):
+        collector = self.run_and_collect(1)
+        text = collector.report.summary()
+        assert "NVM pages programmed: 1/32" in text
+
+    def test_reads_not_counted_as_writes(self):
+        collector = CoverageCollector(SC88A)
+        from repro.soc.bus import BusAccess
+
+        collector.observe_bus_access(
+            BusAccess("read", 0xF000_2000, 4, 0xFF)
+        )
+        assert not collector.report.registers_written
+
+    def test_non_sfr_writes_ignored(self):
+        collector = CoverageCollector(SC88A)
+        from repro.soc.bus import BusAccess
+
+        collector.observe_bus_access(
+            BusAccess("write", 0x1000_0000, 4, 0xFF)
+        )
+        assert not collector.report.registers_written

@@ -1,0 +1,74 @@
+"""Tests for the derivative-diff port planner."""
+
+from repro.core.derivative_report import (
+    AbsorbedBy,
+    compare_derivatives,
+    port_plan,
+)
+from repro.soc.derivatives import SC88A, SC88B, SC88C, SC88D
+
+
+class TestCompare:
+    def test_identity_is_empty(self):
+        assert compare_derivatives(SC88A, SC88A) == []
+
+    def test_sc88b_is_the_figure6_derivative_change(self):
+        changes = compare_derivatives(SC88A, SC88B)
+        categories = {c.category for c in changes}
+        assert "bit-field geometry" in categories
+        assert "capacity" in categories
+        assert all(
+            c.absorbed_by is AbsorbedBy.GLOBAL_DEFINES for c in changes
+        )
+
+    def test_sc88c_includes_rename_and_rebase(self):
+        changes = compare_derivatives(SC88A, SC88C)
+        categories = {c.category for c in changes}
+        assert "register rename" in categories
+        assert "peripheral re-base" in categories
+        rebased = [c for c in changes if c.category == "peripheral re-base"]
+        assert all("UART" in c.detail for c in rebased)
+
+    def test_sc88d_includes_firmware_rewrite(self):
+        changes = compare_derivatives(SC88A, SC88D)
+        firmware = [c for c in changes if c.category == "firmware rewrite"]
+        assert len(firmware) == 1
+        assert firmware[0].absorbed_by is AbsorbedBy.BASE_FUNCTIONS
+        assert "ES_InitRegister" in firmware[0].detail
+
+    def test_change_description_renders(self):
+        change = compare_derivatives(SC88A, SC88B)[0]
+        text = str(change)
+        assert "Globals.inc" in text
+
+
+class TestPortPlan:
+    def test_plan_no_op(self):
+        plan = port_plan(SC88A, SC88A)
+        assert "no-op" in plan
+
+    def test_plan_mentions_both_artifacts_for_sc88d(self):
+        plan = port_plan(SC88A, SC88D)
+        assert "Globals.inc" in plan
+        assert "Base_Functions.asm" in plan
+        assert "test layer: 0 changes" in plan
+
+    def test_plan_matches_measured_port(self):
+        """The planner's artifact prediction matches what the porting
+        engine actually touches — plan and reality agree."""
+        from repro.core.porting import port_advm_environment
+        from repro.core.workloads import make_nvm_environment
+
+        plan_changes = compare_derivatives(SC88A, SC88D)
+        predicted = {c.absorbed_by.value for c in plan_changes}
+        outcome = port_advm_environment(
+            lambda derivatives: make_nvm_environment(
+                2, derivatives=derivatives
+            ),
+            [SC88A],
+            SC88D,
+        )
+        touched = {
+            d.filename for d in outcome.effort.diffs if d.touched
+        }
+        assert predicted == touched

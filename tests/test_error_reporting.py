@@ -1,0 +1,151 @@
+"""Failure-injection tests: diagnostics must point at the real problem.
+
+A verification team lives or dies by its error messages; these tests
+break the environment in the ways teams actually break it and assert
+the diagnostics are specific and located.
+"""
+
+import pytest
+
+from repro.assembler.assembler import Assembler
+from repro.assembler.errors import (
+    AssemblerError,
+    Diagnostics,
+    DirectiveError,
+    LinkError,
+    ParseError,
+)
+from repro.assembler.linker import Linker
+from repro.assembler.preprocessor import InMemoryProvider
+from repro.core.environment import ModuleTestEnvironment, TestCell
+from repro.core.targets import TARGET_GOLDEN
+from repro.soc.derivatives import SC88A
+
+
+class TestLocationThroughIncludes:
+    def test_error_inside_include_names_both_files(self):
+        provider = InMemoryProvider(
+            {"broken.inc": "\n\n    BOGUS d1, d2\n"}
+        )
+        asm = Assembler(provider=provider)
+        with pytest.raises(ParseError) as excinfo:
+            asm.assemble_source(
+                '.INCLUDE "broken.inc"\n_main:\n    HALT\n', "top.asm"
+            )
+        message = str(excinfo.value)
+        assert "broken.inc:3" in message
+        assert "top.asm:1" in message  # the include site
+
+    def test_error_inside_macro_names_invocation_site(self):
+        asm = Assembler()
+        with pytest.raises(AssemblerError) as excinfo:
+            asm.assemble_source(
+                ".MACRO BAD\n    FNORD d1\n.ENDM\n"
+                "_main:\n    BAD\n    HALT\n",
+                "top.asm",
+            )
+        message = str(excinfo.value)
+        assert "<macro BAD>" in message
+        assert "top.asm:5" in message
+
+
+class TestEnvironmentMisconfiguration:
+    def test_missing_derivative_predefine_is_loud(self):
+        env = ModuleTestEnvironment("NVM")
+        env.add_test(
+            TestCell(
+                name="TEST_X",
+                source=".INCLUDE Globals.inc\n_main:\n    HALT\n",
+            )
+        )
+        asm = Assembler(provider=env._provider(), predefines={})
+        with pytest.raises(DirectiveError, match="no DERIVATIVE"):
+            asm.assemble_file("TEST_X.asm")
+
+    def test_missing_base_function_names_the_symbol(self):
+        env = ModuleTestEnvironment("NVM")
+        env.add_test(
+            TestCell(
+                name="TEST_X",
+                source=(
+                    ".INCLUDE Globals.inc\n_main:\n"
+                    "    CALL Base_Never_Written\n"
+                    "    JMP Base_Report_Pass\n"
+                ),
+            )
+        )
+        with pytest.raises(LinkError, match="Base_Never_Written"):
+            env.build_image("TEST_X", SC88A, TARGET_GOLDEN)
+
+    def test_undefined_define_in_test_names_the_symbol(self):
+        env = ModuleTestEnvironment("NVM")
+        env.add_test(
+            TestCell(
+                name="TEST_X",
+                source=(
+                    ".INCLUDE Globals.inc\n_main:\n"
+                    "    LOAD d4, NOT_A_DEFINE\n"
+                    "    JMP Base_Report_Pass\n"
+                ),
+            )
+        )
+        # Unknown names become externs; the linker catches the typo.
+        with pytest.raises(LinkError, match="NOT_A_DEFINE"):
+            env.build_image("TEST_X", SC88A, TARGET_GOLDEN)
+
+
+class TestDiagnosticsCollector:
+    def test_collects_and_summarises(self):
+        diagnostics = Diagnostics()
+        assert diagnostics.ok
+        diagnostics.error(ParseError("bad operand"))
+        diagnostics.warn("suspicious alignment")
+        assert not diagnostics.ok
+        summary = diagnostics.summary()
+        assert "bad operand" in summary
+        assert "warning: " in summary
+        with pytest.raises(ParseError):
+            diagnostics.raise_first()
+
+    def test_raise_first_noop_when_clean(self):
+        Diagnostics().raise_first()  # must not raise
+
+
+class TestRuntimeFailureModes:
+    def run_cell(self, body: str):
+        env = ModuleTestEnvironment("FAULTS")
+        env.add_test(
+            TestCell(
+                name="TEST_F",
+                source=f".INCLUDE Globals.inc\n_main:\n{body}",
+            )
+        )
+        return env.run_test("TEST_F", SC88A)
+
+    def test_wild_jump_fails_cleanly(self):
+        # Jump into unmapped space -> bus-error trap -> visible FAIL.
+        result = self.run_cell("    JMP 0x70000000\n")
+        assert not result.passed
+
+    def test_stack_runaway_fails_cleanly(self):
+        # Infinite recursion eventually overwrites the result area and
+        # runs the stack out of RAM; the run must end in a non-pass
+        # verdict, never a Python-level crash.
+        result = self.run_cell(
+            "recurse:\n    CALL recurse\n    JMP Base_Report_Pass\n"
+        )
+        assert not result.passed
+
+    def test_infinite_loop_times_out(self):
+        env = ModuleTestEnvironment("FAULTS")
+        env.add_test(
+            TestCell(
+                name="TEST_F",
+                source=(
+                    ".INCLUDE Globals.inc\n_main:\n"
+                    "spin:\n    JMP spin\n"
+                ),
+            )
+        )
+        result = env.run_test("TEST_F", SC88A, max_instructions=1_000)
+        assert result.status.value == "timeout"

@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example must run green.
+
+Examples are documentation that executes; letting them rot defeats the
+purpose, so CI runs each one as a subprocess.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+
+
+def test_all_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "nvm_derivative_porting",
+        "cross_platform_regression",
+        "random_globals",
+        "release_workflow",
+        "python_testbench",
+    } <= names

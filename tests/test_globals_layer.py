@@ -1,0 +1,119 @@
+"""Tests for the generated global layer (trap handlers + shared library)."""
+
+import pytest
+
+from repro.assembler.assembler import Assembler
+from repro.core.environment import ModuleTestEnvironment, TestCell
+from repro.core.globals_layer import (
+    NVM_VECTOR,
+    TIMER_VECTOR,
+    generate_global_test_functions,
+    generate_trap_handlers,
+)
+from repro.platforms.base import RunStatus
+from repro.soc.derivatives import SC88A, SC88C, all_derivatives
+from repro.soc.memorymap import VECTOR_COUNT
+
+
+class TestGeneration:
+    def test_trap_handlers_assemble_per_derivative(self):
+        text = generate_trap_handlers(all_derivatives())
+        for derivative in all_derivatives():
+            obj = Assembler(
+                predefines={derivative.predefine: 1}
+            ).assemble_source(text, "th.asm")
+            vectors = obj.sections["vectors"]
+            assert vectors.org == 0
+            assert vectors.size == VECTOR_COUNT * 4
+
+    def test_vector_table_entries(self):
+        text = generate_trap_handlers([SC88A])
+        obj = Assembler(
+            predefines={SC88A.predefine: 1}
+        ).assemble_source(text, "th.asm")
+        timer_relocs = [
+            r
+            for r in obj.relocations
+            if r.section == "vectors"
+            and r.offset == TIMER_VECTOR * 4
+        ]
+        assert timer_relocs[0].symbol == "GL_IRQ_Timer_Handler"
+        nvm_relocs = [
+            r
+            for r in obj.relocations
+            if r.section == "vectors" and r.offset == NVM_VECTOR * 4
+        ]
+        assert nvm_relocs[0].symbol == "GL_IRQ_Nvm_Handler"
+
+    def test_global_functions_assemble(self):
+        obj = Assembler().assemble_source(
+            generate_global_test_functions(), "gf.asm"
+        )
+        assert "Global_Fill_Pattern" in obj.symbols
+        assert "Global_Compare_Block" in obj.symbols
+
+    def test_derivative_conditionals_present(self):
+        text = generate_trap_handlers(all_derivatives())
+        for derivative in all_derivatives():
+            assert f".IFDEF {derivative.predefine}" in text
+
+
+class TestBehaviour:
+    def run_cell(self, source, derivative=SC88A):
+        env = ModuleTestEnvironment("GLTEST")
+        env.add_test(TestCell(name="TEST_GL", source=source))
+        return env.run_test("TEST_GL", derivative)
+
+    def test_unexpected_trap_fails_visibly(self):
+        result = self.run_cell(
+            ".INCLUDE Globals.inc\n_main:\n    TRAP 6\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert result.status is RunStatus.FAIL
+        assert result.done_pin == 1 and result.pass_pin == 0
+
+    def test_divide_by_zero_fails_via_global_handler(self):
+        result = self.run_cell(
+            ".INCLUDE Globals.inc\n_main:\n"
+            "    LOAD d1, 5\n    LOAD d2, 0\n    DIVU d3, d1, d2\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert result.status is RunStatus.FAIL
+
+    def test_timer_irq_counted_by_global_handler(self):
+        result = self.run_cell(
+            ".INCLUDE Globals.inc\n"
+            "_main:\n"
+            "    LOAD a11, IRQ_COUNT_ADDR\n"
+            "    LOAD d11, 0\n"
+            "    ST.W [a11], d11\n"
+            "    LOAD d4, IRQ_LINE_TIMER_MASK\n"
+            "    CALL Base_Enable_IRQ\n"
+            "    LOAD a4, TIM_RELOAD_ADDR\n"
+            "    LOAD d4, 30\n"
+            "    CALL Base_Init_Register\n"
+            "    LOAD a4, TIM_CTRL_ADDR\n"
+            "    LOAD d4, TIMER_CTRL_IRQ_VALUE\n"
+            "    CALL Base_Init_Register\n"
+            "    LOAD d13, POLL_LIMIT\n"
+            "wait:\n"
+            "    LOAD d4, [IRQ_COUNT_ADDR]\n"
+            "    CMPI d4, 3\n"
+            "    JGE enough\n"
+            "    DJNZ d13, wait\n"
+            "    JMP Base_Report_Fail\n"
+            "enough:\n"
+            "    DI\n"
+            "    JMP Base_Report_Pass\n"
+        )
+        assert result.status is RunStatus.PASS
+
+    def test_handlers_work_on_rebased_derivative(self):
+        # sc88c moves the UART but the handler table follows the
+        # derivative's register map through its own .IFDEF block.
+        result = self.run_cell(
+            ".INCLUDE Globals.inc\n_main:\n    TRAP 6\n"
+            "    JMP Base_Report_Pass\n",
+            derivative=SC88C,
+        )
+        assert result.status is RunStatus.FAIL  # handled, visible fail

@@ -1,0 +1,133 @@
+"""Unit + property tests for instruction word encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import (
+    EncodedInstruction,
+    Format,
+    decode_word,
+    encode_word,
+    field_mask,
+    opcode_of,
+    sign_extend_16,
+)
+
+
+class TestFieldMask:
+    def test_single_bit(self):
+        assert field_mask(0, 0) == 1
+        assert field_mask(31, 31) == 0x8000_0000
+
+    def test_byte_range(self):
+        assert field_mask(7, 0) == 0xFF
+        assert field_mask(23, 16) == 0x00FF_0000
+
+
+class TestFormats:
+    def test_every_format_has_distinct_identity(self):
+        # Regression test: tuple-valued enum members used to alias.
+        assert Format.ABS is not Format.R
+        assert Format.MEM is not Format.RI16
+        assert len({f.name for f in Format}) == len(list(Format))
+
+    def test_literal_formats(self):
+        assert Format.ABS.has_literal and Format.BIT.has_literal
+        assert Format.ABS.words == 2
+        for fmt in Format:
+            if fmt not in (Format.ABS, Format.BIT):
+                assert not fmt.has_literal
+                assert fmt.words == 1
+
+
+class TestEncodeDecode:
+    def test_simple_rr(self):
+        word = encode_word(Format.RR, 0x10, r1=14, r2=3)
+        assert opcode_of(word) == 0x10
+        assert decode_word(Format.RR, word) == {"r1": 14, "r2": 3}
+
+    def test_bitfield_width_bias(self):
+        word = encode_word(Format.BIT, 0x50, r1=1, r2=2, pos=0, width=32)
+        fields = decode_word(Format.BIT, word)
+        assert fields["width"] == 32
+        assert fields["pos"] == 0
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            encode_word(Format.RR, 0x10, r1=1)
+
+    def test_unexpected_field_rejected(self):
+        with pytest.raises(ValueError, match="unexpected"):
+            encode_word(Format.NONE, 0x00, r1=1)
+
+    def test_out_of_range_field_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            encode_word(Format.RR, 0x10, r1=16, r2=0)
+        with pytest.raises(ValueError, match="out of range"):
+            encode_word(Format.BIT, 0x50, r1=0, r2=0, pos=32, width=1)
+
+    def test_opcode_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_word(Format.NONE, 0x100)
+
+    @given(
+        r1=st.integers(0, 15),
+        r2=st.integers(0, 15),
+        r3=st.integers(0, 15),
+        pos=st.integers(0, 31),
+        width=st.integers(1, 32),
+    )
+    def test_bitr_round_trip(self, r1, r2, r3, pos, width):
+        word = encode_word(
+            Format.BITR, 0x51, r1=r1, r2=r2, r3=r3, pos=pos, width=width
+        )
+        assert decode_word(Format.BITR, word) == {
+            "r1": r1,
+            "r2": r2,
+            "r3": r3,
+            "pos": pos,
+            "width": width,
+        }
+
+    @given(
+        r1=st.integers(0, 15),
+        r2=st.integers(0, 15),
+        imm=st.integers(0, 0xFFFF),
+    )
+    def test_ri16_round_trip(self, r1, r2, imm):
+        word = encode_word(Format.RI16, 0x3B, r1=r1, r2=r2, imm16=imm)
+        assert decode_word(Format.RI16, word) == {
+            "r1": r1,
+            "r2": r2,
+            "imm16": imm,
+        }
+
+    @given(imm8=st.integers(0, 255))
+    def test_trap_round_trip(self, imm8):
+        word = encode_word(Format.TRAP, 0x78, imm8=imm8)
+        assert decode_word(Format.TRAP, word) == {"imm8": imm8}
+
+
+class TestSignExtend:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [(0, 0), (1, 1), (0x7FFF, 32767), (0x8000, -32768), (0xFFFF, -1)],
+    )
+    def test_values(self, raw, expected):
+        assert sign_extend_16(raw) == expected
+
+    @given(st.integers(-32768, 32767))
+    def test_round_trip(self, value):
+        assert sign_extend_16(value & 0xFFFF) == value
+
+
+class TestEncodedInstruction:
+    def test_single_word(self):
+        instr = EncodedInstruction(word=0x1234)
+        assert instr.words == (0x1234,)
+        assert instr.size_bytes == 4
+
+    def test_with_literal(self):
+        instr = EncodedInstruction(word=0x1234, literal=-1)
+        assert instr.words == (0x1234, 0xFFFF_FFFF)
+        assert instr.size_bytes == 8

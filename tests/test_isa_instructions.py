@@ -1,0 +1,108 @@
+"""Tests for the opcode table's internal consistency."""
+
+import pytest
+
+from repro.isa.encoding import Format
+from repro.isa.instructions import (
+    OPCODE_TABLE,
+    Opcode,
+    is_mnemonic,
+    lookup_opcode,
+    mnemonics,
+    specs_for_mnemonic,
+)
+
+
+class TestTableConsistency:
+    def test_spec_names_unique(self):
+        assert len(OPCODE_TABLE) == len({s.name for s in OPCODE_TABLE.values()})
+
+    def test_slots_match_operands(self):
+        for spec in OPCODE_TABLE.values():
+            assert len(spec.slots) == len(spec.operands), spec.name
+
+    def test_literal_slot_only_in_literal_formats(self):
+        for spec in OPCODE_TABLE.values():
+            if "literal" in spec.slots:
+                assert spec.fmt.has_literal, spec.name
+
+    def test_register_slots_exist_in_format(self):
+        for spec in OPCODE_TABLE.values():
+            for slot in spec.slots:
+                if slot in ("r1", "r2", "r3", "imm16", "pos", "width", "imm8"):
+                    assert slot in spec.fmt.fields, (spec.name, slot)
+                elif slot == "mem":
+                    assert "r2" in spec.fmt.fields
+                    assert "imm16" in spec.fmt.fields
+
+    def test_every_opcode_value_reachable(self):
+        for opcode in Opcode:
+            spec = lookup_opcode(int(opcode))
+            assert spec.opcode == opcode or spec.opcode is Opcode.RET
+
+    def test_ret_and_return_share_an_opcode(self):
+        ret = specs_for_mnemonic("RET")
+        ret_alias = specs_for_mnemonic("RETURN")
+        assert len(ret) == 1 and len(ret_alias) == 1
+        assert ret[0].opcode == ret_alias[0].opcode
+
+
+class TestMnemonicLookup:
+    def test_paper_mnemonics_present(self):
+        # The paper's examples use these surface forms.
+        for mnemonic in ("LOAD", "STORE", "CALL", "RETURN", "INSERT"):
+            assert is_mnemonic(mnemonic), mnemonic
+
+    def test_load_is_overloaded(self):
+        forms = specs_for_mnemonic("LOAD")
+        assert len(forms) >= 3  # LOAD.D, LOAD.A, LOAD.MEMD, LOAD.MEMA
+
+    def test_mov_has_four_bank_combinations(self):
+        assert len(specs_for_mnemonic("MOV")) == 4
+
+    def test_case_insensitive(self):
+        assert specs_for_mnemonic("load") == specs_for_mnemonic("LOAD")
+
+    def test_unknown_mnemonic_empty(self):
+        assert specs_for_mnemonic("FLY") == []
+        assert not is_mnemonic("FLY")
+
+    def test_mnemonics_sorted_and_nonempty(self):
+        names = mnemonics()
+        assert names == sorted(names)
+        assert "HALT" in names
+
+    def test_dotted_memory_mnemonics_keep_suffix(self):
+        # Regression: LD.W must not collapse to the surface name "LD".
+        for name in ("LD.W", "LD.H", "LD.B", "ST.W", "ST.H", "ST.B"):
+            assert is_mnemonic(name), name
+        assert not is_mnemonic("LD")
+
+    def test_lookup_illegal_opcode_raises(self):
+        with pytest.raises(KeyError):
+            lookup_opcode(0xFF)
+
+
+class TestSpecShapes:
+    def test_insert_signature_matches_paper(self):
+        # INSERT rd, rs, value, pos, width — Figure 6's five operands.
+        spec = OPCODE_TABLE["INSERT"]
+        assert spec.fmt is Format.BIT
+        assert len(spec.operands) == 5
+        assert spec.slots == ("r1", "r2", "literal", "pos", "width")
+
+    def test_call_forms(self):
+        forms = {s.name: s for s in specs_for_mnemonic("CALL")}
+        assert forms["CALL.ABS"].fmt is Format.ABS
+        assert forms["CALL.IND"].fmt is Format.R
+
+    def test_store_operand_order(self):
+        # STORE [addr], reg — memory operand first (paper's Figure 7).
+        spec = OPCODE_TABLE["STORE.D"]
+        assert spec.slots == ("literal", "r1")
+
+    def test_sizes(self):
+        assert OPCODE_TABLE["NOP"].size_bytes == 4
+        assert OPCODE_TABLE["LOAD.D"].size_bytes == 8
+        assert OPCODE_TABLE["INSERT"].size_bytes == 8
+        assert OPCODE_TABLE["INSERTR"].size_bytes == 4

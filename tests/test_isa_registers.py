@@ -1,0 +1,162 @@
+"""Unit tests for the SC88 register model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.registers import (
+    AddressRegister,
+    DataRegister,
+    ProcessorStatusWord,
+    Register,
+    RegisterClass,
+    RegisterFile,
+    STACK_POINTER,
+    parse_register,
+)
+
+
+class TestRegisterParsing:
+    def test_parse_data_register(self):
+        reg = parse_register("d14")
+        assert reg == DataRegister(14)
+        assert reg.cls is RegisterClass.DATA
+        assert reg.index == 14
+
+    def test_parse_address_register_uppercase(self):
+        assert parse_register("A12") == AddressRegister(12)
+
+    def test_parse_mixed_case(self):
+        assert parse_register("D3") == DataRegister(3)
+
+    @pytest.mark.parametrize(
+        "text", ["", "d", "x5", "d16", "a99", "d-1", "d1x", "data", "a1.5"]
+    )
+    def test_parse_rejects_non_registers(self, text):
+        assert parse_register(text) is None
+
+    def test_register_name_round_trip(self):
+        for index in range(16):
+            for ctor in (DataRegister, AddressRegister):
+                reg = ctor(index)
+                assert parse_register(reg.name) == reg
+
+    def test_register_index_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Register(RegisterClass.DATA, 16)
+        with pytest.raises(ValueError):
+            Register(RegisterClass.ADDRESS, -1)
+
+    def test_stack_pointer_is_a15(self):
+        assert STACK_POINTER.name == "a15"
+
+
+class TestProcessorStatusWord:
+    def test_reset_state(self):
+        psw = ProcessorStatusWord()
+        assert psw.value == 0
+
+    def test_value_round_trip(self):
+        psw = ProcessorStatusWord()
+        psw.carry = True
+        psw.negative = True
+        psw.interrupt_enable = True
+        restored = ProcessorStatusWord()
+        restored.value = psw.value
+        assert restored.carry and restored.negative
+        assert restored.interrupt_enable
+        assert not restored.zero and not restored.overflow
+
+    @given(st.integers(min_value=0, max_value=0xFF))
+    def test_value_setter_masks_unknown_bits(self, raw):
+        psw = ProcessorStatusWord()
+        psw.value = raw
+        # Round-tripping keeps only the architected bits.
+        again = ProcessorStatusWord()
+        again.value = psw.value
+        assert again.value == psw.value
+
+    def test_add_flags_carry(self):
+        psw = ProcessorStatusWord()
+        psw.set_add_flags(0xFFFF_FFFF, 1, 0xFFFF_FFFF + 1)
+        assert psw.carry and psw.zero
+        assert not psw.negative
+
+    def test_add_flags_overflow_positive(self):
+        psw = ProcessorStatusWord()
+        lhs = rhs = 0x4000_0000
+        psw.set_add_flags(lhs, rhs, lhs + rhs)
+        assert psw.overflow and psw.negative
+        assert not psw.carry
+
+    def test_sub_flags_borrow(self):
+        psw = ProcessorStatusWord()
+        psw.set_sub_flags(1, 2)
+        assert psw.carry  # borrow
+        assert psw.negative
+        assert not psw.zero
+
+    def test_sub_flags_equal_sets_zero(self):
+        psw = ProcessorStatusWord()
+        psw.set_sub_flags(7, 7)
+        assert psw.zero
+        assert not psw.carry and not psw.negative and not psw.overflow
+
+    def test_logic_flags(self):
+        psw = ProcessorStatusWord()
+        psw.set_logic_flags(0x8000_0000)
+        assert psw.negative and not psw.zero
+        assert not psw.carry and not psw.overflow
+        psw.set_logic_flags(0)
+        assert psw.zero and not psw.negative
+
+    def test_copy_is_independent(self):
+        psw = ProcessorStatusWord(carry=True)
+        clone = psw.copy()
+        clone.carry = False
+        assert psw.carry
+
+
+class TestRegisterFile:
+    def test_read_write_masks_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(DataRegister(5), 0x1_2345_6789)
+        assert regs.read(DataRegister(5)) == 0x2345_6789
+
+    def test_banks_are_independent(self):
+        regs = RegisterFile()
+        regs.write(DataRegister(3), 111)
+        regs.write(AddressRegister(3), 222)
+        assert regs.read(DataRegister(3)) == 111
+        assert regs.read(AddressRegister(3)) == 222
+
+    def test_sp_property_aliases_a15(self):
+        regs = RegisterFile()
+        regs.sp = 0x1000_FE00
+        assert regs.read(AddressRegister(15)) == 0x1000_FE00
+
+    def test_snapshot_contains_all_registers(self):
+        regs = RegisterFile()
+        regs.write(DataRegister(0), 42)
+        regs.pc = 0x100
+        snap = regs.snapshot()
+        assert snap["d0"] == 42
+        assert snap["pc"] == 0x100
+        assert len(snap) == 16 + 16 + 2
+
+    def test_reset_clears_and_sets_sp(self):
+        regs = RegisterFile()
+        regs.write(DataRegister(1), 9)
+        regs.pc = 0x500
+        regs.reset(sp_init=0x2000)
+        assert regs.read(DataRegister(1)) == 0
+        assert regs.pc == 0
+        assert regs.sp == 0x2000
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=0xFFFF_FFFF),
+    )
+    def test_write_read_round_trip(self, index, value):
+        regs = RegisterFile()
+        regs.write(DataRegister(index), value)
+        assert regs.read(DataRegister(index)) == value

@@ -1,0 +1,148 @@
+"""Tests for the assembler line lexer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.assembler.errors import LexError, SourceLocation
+from repro.assembler.lexer import Token, TokenKind, tokenize_line
+
+LOC = SourceLocation("test.asm", 1)
+
+
+def kinds(line: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize_line(line, LOC)]
+
+
+def texts(line: str) -> list[str]:
+    return [t.text for t in tokenize_line(line, LOC)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_line_yields_eol_only(self):
+        tokens = tokenize_line("", LOC)
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOL
+
+    def test_comment_only(self):
+        assert kinds(";; a comment") == [TokenKind.EOL]
+        assert kinds("   ; x") == [TokenKind.EOL]
+
+    def test_identifier(self):
+        tokens = tokenize_line("_main", LOC)
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "_main"
+
+    def test_dotted_identifier_is_one_token(self):
+        tokens = tokenize_line("LD.W", LOC)
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "LD.W"
+
+    def test_directive(self):
+        tokens = tokenize_line(".INCLUDE Globals.inc", LOC)
+        assert tokens[0].kind is TokenKind.DIRECTIVE
+        assert tokens[0].text == ".INCLUDE"
+        assert tokens[1].text == "Globals.inc"
+
+    def test_label_with_colon(self):
+        tokens = tokenize_line("Base_Init_Register:", LOC)
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[1].is_punct(":")
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "literal,value",
+        [
+            ("0", 0),
+            ("42", 42),
+            ("0x1F", 31),
+            ("0XFF", 255),
+            ("0b101", 5),
+            ("0o17", 15),
+            ("1_000", 1000),
+            ("0xDEAD_BEEF", 0xDEADBEEF),
+        ],
+    )
+    def test_number_formats(self, literal, value):
+        token = tokenize_line(literal, LOC)[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == value
+
+    def test_char_literal(self):
+        assert tokenize_line("'A'", LOC)[0].value == 65
+        assert tokenize_line(r"'\n'", LOC)[0].value == 10
+        assert tokenize_line(r"'\0'", LOC)[0].value == 0
+
+    @pytest.mark.parametrize("bad", ["0x", "0xG", "0b2", "5t", "0x5G"])
+    def test_malformed_numbers_raise(self, bad):
+        with pytest.raises(LexError):
+            tokenize_line(bad, LOC)
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize_line("'A", LOC)
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize_line('"hello"', LOC)[0]
+        assert token.kind is TokenKind.STRING
+        assert token.text == "hello"
+
+    def test_escapes(self):
+        token = tokenize_line(r'"a\nb\"c"', LOC)[0]
+        assert token.text == 'a\nb"c'
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexError):
+            tokenize_line('"abc', LOC)
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize_line(r'"\q"', LOC)
+
+
+class TestPunctuation:
+    def test_operand_list(self):
+        assert texts("INSERT d14, d14, 8, 0, 5") == [
+            "INSERT", "d14", ",", "d14", ",", "8", ",", "0", ",", "5",
+        ]
+
+    def test_memory_operand(self):
+        assert texts("ST.W [a4+8], d1") == [
+            "ST.W", "[", "a4", "+", "8", "]", ",", "d1",
+        ]
+
+    def test_multi_char_operators_munch_longest(self):
+        assert texts("1 << 2 >= 3 != 4 && 5") == [
+            "1", "<<", "2", ">=", "3", "!=", "4", "&&", "5",
+        ]
+
+    def test_stray_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize_line("mov d0, @", LOC)
+
+    def test_is_punct_helper(self):
+        token = Token(TokenKind.PUNCT, ",")
+        assert token.is_punct(",") and not token.is_punct(":")
+
+
+class TestLexerProperties:
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["LOAD", "d4", "0x10", ",", "+", "(", ")", "[", "]", "42"]
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    def test_never_crashes_on_token_soup(self, pieces):
+        line = " ".join(pieces)
+        tokens = tokenize_line(line, LOC)
+        assert tokens[-1].kind is TokenKind.EOL
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_hex_round_trip(self, value):
+        token = tokenize_line(hex(value), LOC)[0]
+        assert token.value == value

@@ -1,0 +1,140 @@
+"""Tests for section placement, symbol resolution and relocation."""
+
+import pytest
+
+from repro.assembler.assembler import Assembler
+from repro.assembler.errors import LinkError
+from repro.assembler.linker import Linker, MemoryImage, PlacedSection, Region
+
+
+def obj_from(source: str, name: str):
+    return Assembler().assemble_source(source, name)
+
+
+class TestPlacement:
+    def test_floating_text_placed_at_text_base(self):
+        obj = obj_from("_main:\n    HALT\n", "a.asm")
+        image = Linker(text_base=0x200).link([obj])
+        assert image.entry == 0x200
+        assert image.segments[0].base == 0x200
+
+    def test_org_section_placed_exactly(self):
+        obj = obj_from(
+            ".SECTION vectors\n.ORG 0x40\n    .WORD 1\n"
+            ".SECTION text\n_main:\n    HALT\n",
+            "a.asm",
+        )
+        image = Linker().link([obj])
+        vectors = next(s for s in image.segments if s.name == "vectors")
+        assert vectors.base == 0x40
+
+    def test_data_section_goes_to_data_base(self):
+        obj = obj_from(
+            "_main:\n    HALT\n.SECTION data\nd1:\n    .WORD 5\n", "a.asm"
+        )
+        image = Linker(data_base=0x1000_0000).link([obj])
+        data = next(s for s in image.segments if s.name == "data")
+        assert data.base == 0x1000_0000
+
+    def test_multiple_objects_packed_sequentially(self):
+        a = obj_from("_main:\n    HALT\n", "a.asm")
+        b = obj_from("helper:\n    RET\n", "b.asm")
+        image = Linker(text_base=0x100).link([a, b])
+        bases = sorted(s.base for s in image.segments)
+        assert bases[0] == 0x100
+        assert bases[1] == 0x100 + a.section("text").size
+
+    def test_overlapping_org_sections_rejected(self):
+        a = obj_from(".ORG 0x100\n_main:\n    HALT\n", "a.asm")
+        b = obj_from(".ORG 0x100\nother:\n    HALT\n", "b.asm")
+        with pytest.raises(LinkError, match="overlap"):
+            Linker().link([a, b])
+
+    def test_region_bounds_enforced(self):
+        obj = obj_from("_main:\n    .SPACE 0x200\n    HALT\n", "a.asm")
+        tiny = Region("rom", 0x100, 0x80)
+        with pytest.raises(LinkError, match="does not fit"):
+            Linker(text_base=0x100, text_region=tiny).link([obj])
+
+
+class TestSymbols:
+    def test_cross_object_call_patched(self):
+        a = obj_from("_main:\n    CALL helper\n    HALT\n", "a.asm")
+        b = obj_from("helper:\n    RET\n", "b.asm")
+        image = Linker(text_base=0x100).link([a, b])
+        helper_address = image.symbols["helper"]
+        # CALL literal word is at _main+4.
+        assert image.read_word(0x104) == helper_address
+
+    def test_relocation_addend_applied(self):
+        a = obj_from(
+            "_main:\n    LOAD a4, table + 8\n    HALT\n", "a.asm"
+        )
+        b = obj_from(".SECTION data\ntable:\n    .WORD 1,2,3\n", "b.asm")
+        image = Linker().link([a, b])
+        assert image.read_word(0x104) == image.symbols["table"] + 8
+
+    def test_duplicate_symbol_across_objects_rejected(self):
+        a = obj_from("shared:\n    HALT\n_main:\n    NOP\n", "a.asm")
+        b = obj_from("shared:\n    RET\n", "b.asm")
+        with pytest.raises(LinkError, match="defined in both"):
+            Linker().link([a, b])
+
+    def test_undefined_symbol_reported_with_source(self):
+        a = obj_from("_main:\n    CALL Base_Missing\n", "a.asm")
+        with pytest.raises(LinkError, match="Base_Missing"):
+            Linker().link([a])
+
+    def test_missing_entry_rejected(self):
+        a = obj_from("not_main:\n    HALT\n", "a.asm")
+        with pytest.raises(LinkError, match="_main"):
+            Linker().link([a])
+
+    def test_entry_optional_when_disabled(self):
+        a = obj_from("not_main:\n    HALT\n", "a.asm")
+        image = Linker().link([a], require_entry=False)
+        assert image.entry is None
+
+    def test_custom_entry_symbol(self):
+        a = obj_from("start:\n    HALT\n", "a.asm")
+        image = Linker().link([a], entry_symbol="start")
+        assert image.entry == image.symbols["start"]
+
+    def test_nothing_to_link_rejected(self):
+        with pytest.raises(LinkError, match="nothing"):
+            Linker().link([])
+
+
+class TestMemoryImage:
+    def test_read_word_outside_image_rejected(self):
+        image = MemoryImage(
+            segments=[PlacedSection("a", "text", 0x100, b"\x01\x02\x03\x04")]
+        )
+        assert image.read_word(0x100) == 0x04030201
+        with pytest.raises(LinkError):
+            image.read_word(0x200)
+
+    def test_total_bytes(self):
+        image = MemoryImage(
+            segments=[
+                PlacedSection("a", "text", 0, b"\x00" * 12),
+                PlacedSection("b", "data", 100, b"\x00" * 8),
+            ]
+        )
+        assert image.total_bytes == 20
+
+    def test_symbol_lookup_missing_raises(self):
+        with pytest.raises(LinkError, match="not present"):
+            MemoryImage().symbol("ghost")
+
+    def test_vector_table_words_resolved(self):
+        # The global trap-handler pattern: a vectors section full of
+        # .WORD handler references must come out fully patched.
+        obj = obj_from(
+            ".SECTION vectors\n.ORG 0\n    .WORD 0\n    .WORD handler\n"
+            ".SECTION text\nhandler:\n    RETI\n_main:\n    HALT\n",
+            "traps.asm",
+        )
+        image = Linker(text_base=0x200).link([obj])
+        assert image.read_word(4) == image.symbols["handler"]
+        assert image.read_word(0) == 0

@@ -1,0 +1,87 @@
+"""Tests for effort metrics (LoC, diffs, saving factors)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    EffortReport,
+    FileDiff,
+    compare_effort,
+    diff_files,
+    loc,
+)
+
+
+class TestLoc:
+    def test_counts_code_lines(self):
+        source = "_main:\n    NOP\n\n;; comment\n    HALT\n"
+        assert loc(source) == 3
+
+    def test_count_comments_option(self):
+        source = ";; a\n    NOP\n"
+        assert loc(source, count_comments=True) == 2
+
+    def test_empty(self):
+        assert loc("") == 0
+        assert loc("\n\n\n") == 0
+
+
+class TestDiff:
+    def test_identical_files(self):
+        diff = diff_files("f", "a\nb\n", "a\nb\n")
+        assert diff.changed == 0
+        assert not diff.touched
+
+    def test_pure_insert(self):
+        diff = diff_files("f", "a\nb\n", "a\nX\nb\n")
+        assert diff.added == 1 and diff.removed == 0
+
+    def test_pure_delete(self):
+        diff = diff_files("f", "a\nX\nb\n", "a\nb\n")
+        assert diff.removed == 1 and diff.added == 0
+
+    def test_replace_counts_both_sides(self):
+        diff = diff_files("f", "a\nold\nb\n", "a\nnew\nb\n")
+        assert diff.added == 1 and diff.removed == 1
+        assert diff.changed == 2
+
+    @given(
+        st.lists(st.sampled_from("abcd"), max_size=20),
+        st.lists(st.sampled_from("abcd"), max_size=20),
+    )
+    def test_diff_counts_bounded(self, before, after):
+        diff = diff_files("f", "\n".join(before), "\n".join(after))
+        assert 0 <= diff.added <= len(after)
+        assert 0 <= diff.removed <= len(before)
+
+    @given(st.lists(st.sampled_from("abcd"), max_size=20))
+    def test_self_diff_is_zero(self, lines):
+        text = "\n".join(lines)
+        assert diff_files("f", text, text).changed == 0
+
+
+class TestEffortReport:
+    def test_aggregation(self):
+        report = EffortReport("port")
+        report.add(FileDiff("a", 3, 1))
+        report.add(FileDiff("b", 0, 0))
+        report.add(FileDiff("c", 0, 2))
+        assert report.files_touched == 2
+        assert report.files_total == 3
+        assert report.lines_changed == 6
+        assert "2/3 files" in report.summary()
+
+    def test_compare_effort_factors(self):
+        advm = EffortReport("advm")
+        advm.add(FileDiff("g", 10, 0))
+        baseline = EffortReport("base")
+        for index in range(5):
+            baseline.add(FileDiff(f"t{index}", 4, 4))
+        factors = compare_effort(advm, baseline)
+        assert factors["files_factor"] == 5.0
+        assert factors["lines_factor"] == 4.0
+
+    def test_equal_effort_factor_one(self):
+        a = EffortReport("a")
+        a.add(FileDiff("x", 1, 1))
+        factors = compare_effort(a, a)
+        assert factors["files_factor"] == 1.0

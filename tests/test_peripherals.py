@@ -1,0 +1,326 @@
+"""Behavioural tests for all six peripherals."""
+
+import pytest
+
+from repro.soc.bus import BusError
+from repro.soc.memorymap import NVM_PAGE_BYTES
+from repro.soc.peripherals.gpio import Gpio
+from repro.soc.peripherals.intc import InterruptController
+from repro.soc.peripherals.nvm import (
+    CMD_ERASE,
+    CMD_PROG,
+    NvmController,
+    PROGRAM_CYCLES,
+    make_nvm_layout,
+)
+from repro.soc.peripherals.timer import Timer, make_timer_layout
+from repro.soc.peripherals.uart import RX_FIFO_DEPTH, Uart
+from repro.soc.peripherals.watchdog import Watchdog
+
+
+class TestUart:
+    def enable(self, uart, loopback=True):
+        value = 0b0111 | (0b10 if loopback else 0)
+        # EN=1, LOOP=bit1, TXEN=bit2, RXEN=bit3 -> compute via fields
+        ctrl = uart.layout.register_named("UART_CTRL")
+        word = 0
+        for name in ("EN", "TXEN", "RXEN") + (("LOOP",) if loopback else ()):
+            word = ctrl.field_named(name).insert(word, 1)
+        uart.write(0x00, word, 4)
+        return value
+
+    def test_transmit_captured(self):
+        uart = Uart()
+        self.enable(uart, loopback=False)
+        for byte in b"Hi":
+            uart.write(0x08, byte, 4)
+        assert uart.transmitted_text() == "Hi"
+
+    def test_loopback_reflects_to_rx(self):
+        uart = Uart()
+        self.enable(uart)
+        uart.write(0x08, 0x41, 4)
+        stat = uart.read(0x04, 4)
+        assert stat & 0b10  # RXAVL
+        assert uart.read(0x08, 4) == 0x41
+        assert not uart.read(0x04, 4) & 0b10
+
+    def test_disabled_uart_drops_tx(self):
+        uart = Uart()
+        uart.write(0x08, 0x41, 4)
+        assert uart.tx_log == []
+
+    def test_host_receive_respects_rxen(self):
+        uart = Uart()
+        uart.host_receive(0x31)
+        assert not uart.rx_fifo  # receiver disabled
+        self.enable(uart, loopback=False)
+        uart.host_receive(0x31)
+        assert uart.read(0x08, 4) == 0x31
+
+    def test_overrun_flag(self):
+        uart = Uart()
+        self.enable(uart)
+        for index in range(RX_FIFO_DEPTH + 1):
+            uart.write(0x08, index, 4)
+        assert uart.read(0x04, 4) & 0b100  # OVR
+
+    def test_rx_interrupt(self):
+        uart = Uart()
+        ctrl = uart.layout.register_named("UART_CTRL")
+        word = 0
+        for name in ("EN", "TXEN", "RXEN", "LOOP", "RXIE"):
+            word = ctrl.field_named(name).insert(word, 1)
+        uart.write(0x00, word, 4)
+        uart.write(0x08, 0x55, 4)
+        uart.tick()
+        assert uart.irq
+        uart.read(0x08, 4)
+        uart.tick()
+        assert not uart.irq
+
+    def test_word_access_required(self):
+        uart = Uart()
+        with pytest.raises(BusError):
+            uart.read(0x00, 1)
+
+
+class TestNvm:
+    def start(self, nvm, page, cmd):
+        ctrl = nvm.layout.register_named("NVM_CTRL")
+        word = ctrl.field_named("PAGE").insert(0, page)
+        word = ctrl.field_named("CMD").insert(word, cmd)
+        word = ctrl.field_named("START").insert(word, 1)
+        nvm.write(0x00, word, 4)
+
+    def run_to_done(self, nvm):
+        for _ in range(10):
+            nvm.tick(PROGRAM_CYCLES)
+            if not nvm.busy_cycles:
+                return
+
+    def test_program_page(self):
+        nvm = NvmController(pages=32)
+        nvm.write(0x08, 0, 4)           # NVM_ADDR
+        nvm.write(0x0C, 0xCAFE0001, 4)  # NVM_DATA
+        self.start(nvm, 3, CMD_PROG)
+        assert nvm.read(0x04, 4) & 1  # BUSY
+        self.run_to_done(nvm)
+        stat = nvm.read(0x04, 4)
+        assert stat & 0b10 and not stat & 1  # DONE, not BUSY
+        assert nvm.page_bytes(3)[:4] == b"\x01\x00\xfe\xca"
+        assert ("prog", 3) in nvm.operation_log
+
+    def test_erase_page_fills_ff(self):
+        nvm = NvmController(pages=32)
+        self.start(nvm, 1, CMD_ERASE)
+        self.run_to_done(nvm)
+        assert nvm.page_bytes(1) == b"\xff" * NVM_PAGE_BYTES
+
+    def test_data_autoincrement(self):
+        nvm = NvmController()
+        nvm.write(0x08, 0, 4)
+        nvm.write(0x0C, 1, 4)
+        nvm.write(0x0C, 2, 4)
+        assert nvm.page_buffer[0] == 1
+        assert nvm.page_buffer[4] == 2
+
+    def test_bad_page_sets_error(self):
+        nvm = NvmController(pages=32)
+        layout = make_nvm_layout(page_pos=0, page_width=6)
+        nvm_wide = NvmController(layout=layout, pages=32)  # 64 encodable
+        self.start(nvm_wide, 40, CMD_PROG)  # page 40 >= 32
+        assert nvm_wide.read(0x04, 4) & 0b100  # ERR
+
+    def test_bad_command_sets_error(self):
+        nvm = NvmController()
+        self.start(nvm, 0, 3)
+        assert nvm.read(0x04, 4) & 0b100
+
+    def test_start_while_busy_is_error(self):
+        nvm = NvmController()
+        self.start(nvm, 0, CMD_PROG)
+        self.start(nvm, 1, CMD_PROG)
+        assert nvm.error
+
+    def test_array_read_only_via_bus(self):
+        nvm = NvmController()
+        with pytest.raises(BusError):
+            nvm.array.write(0, 1, 4)
+
+    def test_done_raises_irq(self):
+        nvm = NvmController()
+        self.start(nvm, 0, CMD_PROG)
+        self.run_to_done(nvm)
+        assert nvm.irq
+
+    def test_derivative_page_field_positions(self):
+        # sc88c-style layout: PAGE at pos 1.
+        layout = make_nvm_layout(page_pos=1, page_width=5)
+        nvm = NvmController(layout=layout, pages=32)
+        ctrl = layout.register_named("NVM_CTRL")
+        word = ctrl.field_named("PAGE").insert(0, 5)
+        word = ctrl.field_named("CMD").insert(word, CMD_PROG)
+        word = ctrl.field_named("START").insert(word, 1)
+        nvm.write(0x00, word, 4)
+        self.run_to_done(nvm)
+        assert ("prog", 5) in nvm.operation_log
+
+
+class TestTimer:
+    def test_counts_down_and_underflows(self):
+        timer = Timer()
+        timer.write(0x08, 10, 4)  # reload (primes count)
+        timer.write(0x00, 0b01, 4)  # EN
+        timer.tick(10 + 1)
+        assert timer.underflows == 1
+        assert timer.read(0x0C, 4) & 1  # OVF
+
+    def test_oneshot_stops(self):
+        timer = Timer()
+        timer.write(0x08, 5, 4)
+        timer.write(0x00, 0b101, 4)  # EN|ONESHOT
+        timer.tick(100)
+        assert timer.underflows == 1
+        assert timer.field_value("TIM_CTRL", "EN") == 0
+
+    def test_periodic_reloads(self):
+        timer = Timer()
+        timer.write(0x08, 4, 4)
+        timer.write(0x00, 0b01, 4)
+        timer.tick(20)
+        assert timer.underflows == 4
+
+    def test_irq_requires_ie(self):
+        timer = Timer()
+        timer.write(0x08, 2, 4)
+        timer.write(0x00, 0b01, 4)  # EN only
+        timer.tick(5)
+        assert not timer.irq
+        timer.write(0x00, 0b11, 4)  # EN|IE
+        timer.tick(5)
+        assert timer.irq
+
+    def test_w1c_status(self):
+        timer = Timer()
+        timer.write(0x08, 1, 4)
+        timer.write(0x00, 0b01, 4)
+        timer.tick(3)
+        assert timer.read(0x0C, 4) & 1
+        timer.write(0x0C, 1, 4)  # W1C
+        assert not timer.read(0x0C, 4) & 1
+
+    def test_counter_width_respected(self):
+        narrow = Timer(make_timer_layout(counter_width=8))
+        narrow.write(0x08, 0x1FF, 4)  # masked to 8 bits
+        assert narrow.read(0x04, 4) == 0xFF
+
+    def test_disabled_timer_static(self):
+        timer = Timer()
+        timer.write(0x08, 5, 4)
+        timer.tick(100)
+        assert timer.read(0x04, 4) == 5
+
+
+class TestIntc:
+    def test_pending_and_priority(self):
+        intc = InterruptController()
+        intc.write(0x00, 0xFF, 4)  # enable all
+        intc.raise_line(3)
+        intc.raise_line(1)
+        assert intc.pending_line() == 1  # lowest wins
+
+    def test_masked_lines_ignored(self):
+        intc = InterruptController()
+        intc.write(0x00, 0b1000, 4)
+        intc.raise_line(1)
+        assert intc.pending_line() is None
+        intc.raise_line(3)
+        assert intc.pending_line() == 3
+
+    def test_w1c_acknowledge(self):
+        intc = InterruptController()
+        intc.write(0x00, 0xFF, 4)
+        intc.raise_line(2)
+        intc.write(0x04, 0b100, 4)  # W1C
+        assert intc.pending_line() is None
+
+    def test_vector_register(self):
+        intc = InterruptController()
+        intc.write(0x00, 0xFF, 4)
+        assert intc.read(0x08, 4) == 0
+        intc.raise_line(5)
+        value = intc.read(0x08, 4)
+        assert value & 0xF == 5
+        assert value >> 31
+
+
+class TestGpio:
+    def test_pin_respects_direction(self):
+        gpio = Gpio()
+        gpio.write(0x00, 0b11, 4)  # OUT
+        assert gpio.pin(0) == 0  # DIR still input
+        gpio.write(0x08, 0b01, 4)  # DIR pin0 out
+        assert gpio.pin(0) == 1
+        assert gpio.pin(1) == 0
+
+    def test_out_history(self):
+        gpio = Gpio()
+        gpio.write(0x00, 1, 4)
+        gpio.write(0x00, 3, 4)
+        assert gpio.out_history == [1, 3]
+
+    def test_input_injection(self):
+        gpio = Gpio()
+        gpio.drive_input(0xAB)
+        assert gpio.read(0x04, 4) == 0xAB
+
+    def test_input_register_read_only(self):
+        gpio = Gpio()
+        gpio.write(0x04, 0xFF, 4)  # ignored
+        assert gpio.read(0x04, 4) == 0
+
+
+class TestWatchdog:
+    def arm(self, wdt, timeout=100):
+        wdt.write(0x00, 1 | (timeout << 8), 4)
+
+    def test_expires_without_service(self):
+        wdt = Watchdog()
+        self.arm(wdt, 50)
+        wdt.tick(49)
+        assert not wdt.expired
+        wdt.tick(1)
+        assert wdt.expired and wdt.irq
+
+    def test_service_reloads(self):
+        wdt = Watchdog()
+        self.arm(wdt, 50)
+        wdt.tick(40)
+        wdt.write(0x04, 0xA5, 4)
+        wdt.tick(40)
+        assert not wdt.expired
+        assert wdt.services == 1
+
+    def test_wrong_key_ignored(self):
+        wdt = Watchdog()
+        self.arm(wdt, 50)
+        wdt.tick(40)
+        wdt.write(0x04, 0x11, 4)
+        wdt.tick(20)
+        assert wdt.expired
+
+    def test_derivative_key(self):
+        wdt = Watchdog(service_key=0x5A)
+        self.arm(wdt, 50)
+        wdt.tick(40)
+        wdt.write(0x04, 0xA5, 4)  # old key: miss
+        wdt.write(0x04, 0x5A, 4)  # new key: hit
+        wdt.tick(40)
+        assert not wdt.expired
+        assert wdt.services == 1
+
+    def test_disabled_never_expires(self):
+        wdt = Watchdog()
+        wdt.tick(10_000_000)
+        assert not wdt.expired

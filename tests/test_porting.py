@@ -1,0 +1,130 @@
+"""Tests for the porting engine (the paper's headline claim)."""
+
+import pytest
+
+from repro.core.metrics import compare_effort
+from repro.core.porting import (
+    compare_nvm_port,
+    make_hardwired_nvm_suite,
+    port_advm_environment,
+    port_hardwired_suite,
+)
+from repro.core.environment import GlobalLayer
+from repro.core.targets import TARGET_GOLDEN
+from repro.core.workloads import make_nvm_environment
+from repro.soc.derivatives import SC88A, SC88B, SC88C, SC88D
+
+
+class TestAdvmPort:
+    def test_port_touches_only_abstraction_layer(self):
+        outcome = port_advm_environment(
+            lambda derivatives: make_nvm_environment(
+                3, derivatives=derivatives
+            ),
+            [SC88A],
+            SC88B,
+        )
+        touched = [d.filename for d in outcome.effort.diffs if d.touched]
+        assert touched == ["Globals.inc"]
+
+    def test_ported_suite_passes_on_new_derivative(self):
+        outcome = port_advm_environment(
+            lambda derivatives: make_nvm_environment(
+                2, derivatives=derivatives
+            ),
+            [SC88A],
+            SC88C,
+        )
+        assert outcome.all_pass
+
+    def test_port_to_firmware_rewrite_touches_base_functions(self):
+        # sc88d changes the ES ABI -> Base_Functions must change too,
+        # but STILL no test files.
+        outcome = port_advm_environment(
+            lambda derivatives: make_nvm_environment(
+                3, derivatives=derivatives
+            ),
+            [SC88A, SC88B],
+            SC88D,
+        )
+        touched = {d.filename for d in outcome.effort.diffs if d.touched}
+        assert "Base_Functions.asm" in touched
+        assert not any(name.startswith("TEST_") for name in touched)
+        assert outcome.all_pass
+
+    def test_test_files_counted_but_untouched(self):
+        outcome = port_advm_environment(
+            lambda derivatives: make_nvm_environment(
+                4, derivatives=derivatives
+            ),
+            [SC88A],
+            SC88B,
+        )
+        test_diffs = [
+            d for d in outcome.effort.diffs if d.filename.endswith(".asm")
+            and d.filename.startswith("TEST_")
+        ]
+        assert len(test_diffs) == 4
+        assert all(not d.touched for d in test_diffs)
+
+
+class TestHardwiredPort:
+    def test_every_test_touched(self):
+        outcome = port_hardwired_suite(4, SC88A, SC88B)
+        assert outcome.effort.files_touched == 4
+
+    def test_ported_hardwired_suite_passes(self):
+        outcome = port_hardwired_suite(2, SC88A, SC88C)
+        assert outcome.all_pass
+
+    def test_hardwired_suite_runs_standalone(self):
+        suite = make_hardwired_nvm_suite(2, SC88A)
+        results = suite.run_all(GlobalLayer([SC88A]))
+        assert all(r.passed for r in results.values())
+
+    def test_hardwired_port_lines_scale_with_suite_size(self):
+        small = port_hardwired_suite(2, SC88A, SC88B)
+        large = port_hardwired_suite(6, SC88A, SC88B)
+        assert (
+            large.effort.lines_changed
+            >= 3 * small.effort.lines_changed / 2
+        )
+
+
+class TestComparison:
+    def test_files_factor_scales_with_suite_size(self):
+        """The paper's claim in numbers: baseline cost grows with N,
+        ADVM cost is constant — so the saving factor grows linearly."""
+        small = compare_nvm_port(2, [SC88A], SC88B)
+        large = compare_nvm_port(6, [SC88A], SC88B)
+        assert small.factors["files_factor"] == 2.0
+        assert large.factors["files_factor"] == 6.0
+
+    def test_advm_lines_constant_in_suite_size(self):
+        small = compare_nvm_port(2, [SC88A], SC88B)
+        large = compare_nvm_port(8, [SC88A], SC88B)
+        assert (
+            small.advm.effort.lines_changed
+            == large.advm.effort.lines_changed
+        )
+
+    def test_both_sides_pass_after_port(self):
+        comparison = compare_nvm_port(2, [SC88A], SC88B)
+        assert comparison.advm.all_pass
+        assert comparison.baseline.all_pass
+
+    def test_summary_renders(self):
+        comparison = compare_nvm_port(2, [SC88A], SC88B)
+        text = comparison.summary()
+        assert "saving factor" in text
+        assert "files" in text
+
+    def test_compare_effort_inf_safe(self):
+        from repro.core.metrics import EffortReport, FileDiff
+
+        advm = EffortReport("advm")
+        advm.add(FileDiff("g", 0, 0))
+        baseline = EffortReport("base")
+        baseline.add(FileDiff("t", 5, 5))
+        factors = compare_effort(advm, baseline)
+        assert factors["files_factor"] == float("inf")

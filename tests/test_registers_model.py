@@ -1,0 +1,156 @@
+"""Tests for the named register / bit-field model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.soc.registers import (
+    Access,
+    Field,
+    Instance,
+    PeripheralLayout,
+    RegisterDef,
+    RegisterMap,
+)
+
+
+def simple_layout(name="BLK", reg="CTRL"):
+    return PeripheralLayout(
+        name=name,
+        registers=(
+            RegisterDef(
+                reg,
+                0x00,
+                fields=(Field("PAGE", 0, 5), Field("CMD", 16, 2)),
+            ),
+            RegisterDef("STAT", 0x04, access=Access.RO),
+        ),
+    )
+
+
+class TestField:
+    def test_mask_and_extract(self):
+        page = Field("PAGE", 0, 5)
+        assert page.mask == 0x1F
+        assert page.extract(0xFFFF_FFE8) == 8
+
+    def test_insert(self):
+        page = Field("PAGE", 3, 4)
+        assert page.insert(0, 0xF) == 0xF << 3
+        assert page.insert(0xFFFF_FFFF, 0) == 0xFFFF_FFFF & ~(0xF << 3)
+
+    def test_insert_masks_value(self):
+        page = Field("PAGE", 0, 4)
+        assert page.insert(0, 0x1FF) == 0xF
+
+    @given(
+        pos=st.integers(0, 27),
+        width=st.integers(1, 5),
+        value=st.integers(0, 0xFFFF_FFFF),
+        register=st.integers(0, 0xFFFF_FFFF),
+    )
+    def test_insert_extract_round_trip(self, pos, width, value, register):
+        fld = Field("F", pos, width)
+        inserted = fld.insert(register, value)
+        assert fld.extract(inserted) == value & fld.max_value
+        # Other bits untouched:
+        assert inserted & ~fld.mask == register & ~fld.mask
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Field("F", 32, 1)
+        with pytest.raises(ValueError):
+            Field("F", 30, 4)
+        with pytest.raises(ValueError):
+            Field("F", 0, 0)
+
+
+class TestRegisterDef:
+    def test_field_lookup(self):
+        reg = simple_layout().register_named("CTRL")
+        assert reg.field_named("PAGE").width == 5
+        with pytest.raises(KeyError):
+            reg.field_named("GHOST")
+
+    def test_overlapping_fields_rejected(self):
+        with pytest.raises(ValueError, match="overlaps"):
+            RegisterDef(
+                "R", 0, fields=(Field("A", 0, 8), Field("B", 4, 8))
+            )
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RegisterDef(
+                "R", 0, fields=(Field("A", 0, 4), Field("A", 8, 4))
+            )
+
+    def test_unaligned_offset_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            RegisterDef("R", 2)
+
+
+class TestLayout:
+    def test_register_at_offset(self):
+        layout = simple_layout()
+        assert layout.register_at(0x04).name == "STAT"
+        assert layout.register_at(0x40) is None
+
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(ValueError, match="duplicate offset"):
+            PeripheralLayout(
+                "P",
+                registers=(RegisterDef("A", 0), RegisterDef("B", 0)),
+            )
+
+    def test_register_outside_block_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            PeripheralLayout(
+                "P", registers=(RegisterDef("A", 0x200),), size=0x100
+            )
+
+
+class TestRegisterMap:
+    def make_map(self):
+        register_map = RegisterMap()
+        register_map.add(Instance("NVM", simple_layout("NVM"), 0xF000_2000))
+        register_map.add(
+            Instance("UART", simple_layout("UART", reg="UCTRL"), 0xF000_1000)
+        )
+        return register_map
+
+    def test_qualified_lookup(self):
+        register_map = self.make_map()
+        assert register_map.register_address("NVM.CTRL") == 0xF000_2000
+        assert register_map.register_address("UART.STAT") == 0xF000_1004
+
+    def test_bare_name_when_unambiguous(self):
+        register_map = self.make_map()
+        assert register_map.register_address("UCTRL") == 0xF000_1000
+
+    def test_ambiguous_bare_name_rejected(self):
+        register_map = self.make_map()
+        with pytest.raises(KeyError, match="ambiguous"):
+            register_map.register_address("STAT")
+
+    def test_unknown_names_rejected(self):
+        register_map = self.make_map()
+        with pytest.raises(KeyError):
+            register_map.register_address("GHOST")
+        with pytest.raises(KeyError):
+            register_map.instance("GHOST")
+
+    def test_duplicate_instance_rejected(self):
+        register_map = self.make_map()
+        with pytest.raises(ValueError, match="duplicate"):
+            register_map.add(
+                Instance("NVM", simple_layout("NVM"), 0xF000_4000)
+            )
+
+    def test_field_of(self):
+        register_map = self.make_map()
+        assert register_map.field_of("NVM.CTRL", "PAGE").width == 5
+
+    def test_all_register_addresses(self):
+        register_map = self.make_map()
+        table = register_map.all_register_addresses()
+        assert table["NVM.CTRL"] == 0xF000_2000
+        assert len(table) == 4

@@ -1,0 +1,111 @@
+"""Tests for release labels and frozen regression environments (§3)."""
+
+import pytest
+
+from repro.core.release import ReleaseManager
+from repro.core.workloads import make_nvm_environment
+from repro.platforms.base import RunStatus
+from repro.soc.derivatives import SC88A
+
+
+class TestLabels:
+    def test_create_label_snapshots_content(self):
+        manager = ReleaseManager()
+        env = make_nvm_environment(2)
+        release = manager.create_label("NVM_R1.0", env)
+        assert release.environment_name == "NVM"
+        assert "Globals.inc" in release.files
+        assert "cell:TEST_NVM_PAGE_001" in release.files
+        assert len(release.digest) == 16
+
+    def test_duplicate_label_rejected(self):
+        manager = ReleaseManager()
+        env = make_nvm_environment(1)
+        manager.create_label("R1", env)
+        with pytest.raises(ValueError, match="already exists"):
+            manager.create_label("R1", env)
+
+    def test_dirty_detection(self):
+        manager = ReleaseManager()
+        env = make_nvm_environment(1)
+        manager.create_label("R1", env)
+        assert not manager.is_dirty("R1")
+        env.defines.set_extra("TEST1_TARGET_PAGE", 30)
+        assert manager.is_dirty("R1")
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            ReleaseManager().frozen("GHOST")
+
+
+class TestFrozenEnvironment:
+    def test_frozen_env_runs(self):
+        manager = ReleaseManager()
+        env = make_nvm_environment(1)
+        manager.create_label("R1", env)
+        frozen = manager.frozen("R1")
+        result = frozen.run_test("TEST_NVM_PAGE_001", SC88A)
+        assert result.status is RunStatus.PASS
+
+    def test_frozen_env_immune_to_live_mutation(self):
+        """The C7 property: a frozen regression is bit-stable while the
+        live abstraction layer is being developed."""
+        manager = ReleaseManager()
+        env = make_nvm_environment(1)
+        manager.create_label("R1", env)
+        frozen = manager.frozen("R1")
+        before = frozen.environment.globals_text()
+
+        # Live development: break the live environment thoroughly.
+        env.defines.set_extra("TEST1_TARGET_PAGE", 999_999)
+
+        assert frozen.environment.globals_text() == before
+        assert frozen.run_test("TEST_NVM_PAGE_001", SC88A).passed
+        # The live environment, by contrast, is now broken (the bogus
+        # page address takes a bus-error trap and the test fails).
+        assert not env.run_test("TEST_NVM_PAGE_001", SC88A).passed
+
+    def test_frozen_cells_match_snapshot(self):
+        manager = ReleaseManager()
+        env = make_nvm_environment(2)
+        manager.create_label("R1", env)
+        frozen = manager.frozen("R1")
+        assert set(frozen.environment.cells) == set(env.cells)
+
+
+class TestSystemLabels:
+    def test_compose_and_freeze_system(self):
+        manager = ReleaseManager()
+        nvm = make_nvm_environment(1)
+        from repro.core.workloads import make_uart_environment
+
+        uart = make_uart_environment(1)
+        manager.create_label("NVM_R1", nvm)
+        manager.create_label("UART_R1", uart)
+        system = manager.compose_system_label(
+            "SYS_R1", {"NVM": "NVM_R1", "UART": "UART_R1"}
+        )
+        assert "NVM=NVM_R1" in str(system)
+        frozen = manager.frozen_system("SYS_R1")
+        assert set(frozen) == {"NVM", "UART"}
+        assert frozen["NVM"].run_test("TEST_NVM_PAGE_001", SC88A).passed
+
+    def test_unknown_sublabel_rejected(self):
+        manager = ReleaseManager()
+        with pytest.raises(KeyError):
+            manager.compose_system_label("S", {"NVM": "GHOST"})
+
+    def test_mismatched_environment_rejected(self):
+        manager = ReleaseManager()
+        env = make_nvm_environment(1)
+        manager.create_label("NVM_R1", env)
+        with pytest.raises(ValueError, match="belongs to"):
+            manager.compose_system_label("S", {"UART": "NVM_R1"})
+
+    def test_duplicate_system_label_rejected(self):
+        manager = ReleaseManager()
+        env = make_nvm_environment(1)
+        manager.create_label("NVM_R1", env)
+        manager.compose_system_label("S", {"NVM": "NVM_R1"})
+        with pytest.raises(ValueError):
+            manager.compose_system_label("S", {"NVM": "NVM_R1"})

@@ -1,0 +1,83 @@
+"""Tests for the complete system environment (Figures 4 and 5)."""
+
+import pytest
+
+from repro.core.environment import TestCell
+from repro.core.system_env import (
+    SystemEnvironment,
+    make_default_system,
+)
+from repro.core.workloads import make_nvm_environment, make_uart_environment
+from repro.soc.derivatives import SC88A
+
+
+class TestComposition:
+    def test_default_system_has_six_environments(self):
+        system = make_default_system(nvm_tests=1, uart_tests=1)
+        assert set(system.environments) == {
+            "NVM", "UART", "TIMER", "REGINIT", "REGCHECK", "DATAPATH",
+        }
+        assert system.total_tests > 10
+
+    def test_duplicate_environment_rejected(self):
+        system = SystemEnvironment()
+        system.add_environment(make_nvm_environment(1))
+        with pytest.raises(ValueError, match="duplicate"):
+            system.add_environment(make_nvm_environment(1))
+
+    def test_environments_share_global_layer(self):
+        system = SystemEnvironment()
+        system.add_environment(make_nvm_environment(1))
+        system.add_environment(make_uart_environment(1))
+        layers = {
+            id(env.global_layer) for env in system.environments.values()
+        }
+        assert len(layers) == 1  # Figure 4: one shared global layer
+
+    def test_environment_lookup(self):
+        system = SystemEnvironment()
+        system.add_environment(make_nvm_environment(1))
+        assert system.environment("NVM").name == "NVM"
+        with pytest.raises(KeyError):
+            system.environment("GHOST")
+
+
+class TestIsolation:
+    def test_clean_system_has_no_violations(self):
+        system = make_default_system(nvm_tests=1, uart_tests=1)
+        assert system.check_isolation() == []
+
+    def test_cross_environment_reference_detected(self):
+        """A UART test must not reference the NVM environment's private
+        defines — Figure 4's isolation rule."""
+        system = SystemEnvironment()
+        system.add_environment(make_nvm_environment(1))
+        uart = make_uart_environment(1)
+        uart.add_test(
+            TestCell(
+                name="TEST_SNEAKY",
+                source=(
+                    ".INCLUDE Globals.inc\n"
+                    "_main:\n"
+                    "    LOAD d4, TEST1_TARGET_PAGE\n"  # NVM's define!
+                    "    JMP Base_Report_Pass\n"
+                ),
+            )
+        )
+        system.add_environment(uart)
+        violations = system.check_isolation()
+        assert violations
+        assert violations[0].offending_env == "UART"
+        assert violations[0].referenced_env == "NVM"
+        assert violations[0].symbol == "TEST1_TARGET_PAGE"
+        assert "TEST1_TARGET_PAGE" in str(violations[0])
+
+
+class TestSystemRuns:
+    def test_run_all(self):
+        system = make_default_system(nvm_tests=1, uart_tests=1)
+        results = system.run_all(SC88A)
+        assert set(results) == set(system.environments)
+        for env_name, cells in results.items():
+            for cell_name, result in cells.items():
+                assert result.passed, (env_name, cell_name)

@@ -1,0 +1,92 @@
+"""Tests for the plain-text TESTPLAN.TXT model."""
+
+import pytest
+
+from repro.core.testplan import PlanItem, TestPlan
+
+
+class TestPlanBasics:
+    def test_add_and_find(self):
+        plan = TestPlan("NVM")
+        plan.add("NVM_001", "program a page")
+        assert plan.find("NVM_001").description == "program a page"
+        assert plan.find("GHOST") is None
+
+    def test_duplicate_id_rejected(self):
+        plan = TestPlan("NVM")
+        plan.add("NVM_001", "x")
+        with pytest.raises(ValueError, match="duplicate"):
+            plan.add("NVM_001", "y")
+
+    def test_status_transitions(self):
+        plan = TestPlan("NVM")
+        plan.add("NVM_001", "x")
+        plan.mark("NVM_001", "implemented")
+        plan.mark("NVM_001", "passing")
+        assert plan.find("NVM_001").status == "passing"
+
+    def test_invalid_status_rejected(self):
+        plan = TestPlan("NVM")
+        plan.add("NVM_001", "x")
+        with pytest.raises(ValueError):
+            plan.mark("NVM_001", "magic")
+        with pytest.raises(ValueError):
+            PlanItem("A", "bogus", "desc")
+
+    def test_mark_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TestPlan("NVM").mark("GHOST", "passing")
+
+
+class TestTextRoundTrip:
+    def test_render_and_parse(self):
+        plan = TestPlan("UART")
+        plan.add("UART_001", "loopback byte", "implemented")
+        plan.add("UART_002", "overrun flag", "planned")
+        text = plan.to_text()
+        parsed = TestPlan.from_text(text)
+        assert parsed.module == "UART"
+        assert [i.item_id for i in parsed.items] == ["UART_001", "UART_002"]
+        assert parsed.find("UART_001").status == "implemented"
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            TestPlan.from_text("NVM_001 only-two-fields\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = ";; a comment\n\nA_1 | planned | thing\n"
+        plan = TestPlan.from_text(text, module="M")
+        assert len(plan.items) == 1
+
+    def test_grep(self):
+        # The paper's rationale: plain text is grep-able.
+        plan = TestPlan("NVM")
+        plan.add("NVM_001", "program page 8")
+        plan.add("NVM_002", "erase page")
+        plan.add("UARTISH_001", "unrelated")
+        hits = plan.grep(r"page")
+        assert len(hits) == 2
+        hits = plan.grep(r"^NVM_\d+ \| planned")
+        assert len(hits) == 2
+
+
+class TestSummaries:
+    def test_summary_counts(self):
+        plan = TestPlan("M")
+        plan.add("A", "x", "planned")
+        plan.add("B", "y", "implemented")
+        plan.add("C", "z", "passing")
+        counts = plan.summary()
+        assert counts == {
+            "planned": 1,
+            "implemented": 1,
+            "passing": 1,
+            "total": 3,
+        }
+
+    def test_completion_ratio(self):
+        plan = TestPlan("M")
+        assert plan.completion_ratio() == 1.0
+        plan.add("A", "x", "passing")
+        plan.add("B", "y", "planned")
+        assert plan.completion_ratio() == 0.5

@@ -1,0 +1,173 @@
+"""Tests for the Figure 2 abuse checker."""
+
+from repro.core.environment import ModuleTestEnvironment, TestCell
+from repro.core.targets import TARGET_GOLDEN
+from repro.core.violations import (
+    ViolationKind,
+    check_cell,
+    check_environment,
+    check_hardwired_addresses,
+)
+from repro.core.workloads import (
+    make_nvm_environment,
+    make_reginit_environment,
+    make_timer_environment,
+    make_uart_environment,
+)
+from repro.soc.derivatives import SC88A
+
+
+def assemble_cell(env, name):
+    return env.assemble_cell(name, SC88A, TARGET_GOLDEN)
+
+
+class TestCleanEnvironments:
+    def test_all_shipped_workloads_are_clean(self):
+        """Every generated workload must obey its own methodology."""
+        for factory in (
+            lambda: make_nvm_environment(2),
+            make_reginit_environment,
+            lambda: make_uart_environment(1),
+            make_timer_environment,
+        ):
+            env = factory()
+            violations = check_environment(env, SC88A, TARGET_GOLDEN)
+            assert violations == [], (env.name, [str(v) for v in violations])
+
+
+class TestDirectCall:
+    def test_direct_es_call_flagged(self):
+        env = make_nvm_environment(1)
+        env.add_test(
+            TestCell(
+                name="TEST_DIRECT_ES",
+                source=(
+                    ".INCLUDE Globals.inc\n"
+                    "_main:\n"
+                    "    LOAD CallAddr, ES_Init_Register\n"
+                    "    CALL CallAddr\n"
+                    "    JMP Base_Report_Pass\n"
+                ),
+            )
+        )
+        obj = assemble_cell(env, "TEST_DIRECT_ES")
+        violations = check_cell(
+            "TEST_DIRECT_ES", env.cell("TEST_DIRECT_ES").source, obj
+        )
+        kinds = {v.kind for v in violations}
+        assert ViolationKind.DIRECT_CALL in kinds
+
+    def test_direct_global_function_call_flagged(self):
+        env = make_nvm_environment(1)
+        env.add_test(
+            TestCell(
+                name="TEST_DIRECT_GLOBAL",
+                source=(
+                    ".INCLUDE Globals.inc\n"
+                    "_main:\n"
+                    "    CALL Global_Fill_Pattern\n"
+                    "    JMP Base_Report_Pass\n"
+                ),
+            )
+        )
+        obj = assemble_cell(env, "TEST_DIRECT_GLOBAL")
+        violations = check_cell(
+            "TEST_DIRECT_GLOBAL",
+            env.cell("TEST_DIRECT_GLOBAL").source,
+            obj,
+        )
+        assert any(v.kind is ViolationKind.DIRECT_CALL for v in violations)
+
+    def test_base_calls_allowed(self):
+        env = make_nvm_environment(1)
+        obj = assemble_cell(env, "TEST_NVM_PAGE_001")
+        violations = check_cell(
+            "TEST_NVM_PAGE_001",
+            env.cell("TEST_NVM_PAGE_001").source,
+            obj,
+        )
+        assert violations == []
+
+
+class TestDirectInclude:
+    def test_foreign_include_flagged(self):
+        env = make_nvm_environment(1)
+        env.add_test(
+            TestCell(
+                name="TEST_BAD_INCLUDE",
+                source=(
+                    ".INCLUDE Globals.inc\n"
+                    ".INCLUDE Global_Test_Functions.asm\n"
+                    "_main:\n"
+                    "    JMP Base_Report_Pass\n"
+                ),
+            )
+        )
+        obj = assemble_cell(env, "TEST_BAD_INCLUDE")
+        violations = check_cell(
+            "TEST_BAD_INCLUDE", env.cell("TEST_BAD_INCLUDE").source, obj
+        )
+        assert any(
+            v.kind is ViolationKind.DIRECT_INCLUDE for v in violations
+        )
+
+    def test_globals_include_allowed(self):
+        env = make_nvm_environment(1)
+        obj = assemble_cell(env, "TEST_NVM_PAGE_001")
+        assert not any(
+            v.kind is ViolationKind.DIRECT_INCLUDE
+            for v in check_cell(
+                "TEST_NVM_PAGE_001",
+                env.cell("TEST_NVM_PAGE_001").source,
+                obj,
+            )
+        )
+
+
+class TestHardwiredAddresses:
+    def test_sfr_literal_flagged(self):
+        source = "_main:\n    LOAD a4, 0xF0002000\n    HALT\n"
+        violations = check_hardwired_addresses("T", source)
+        assert len(violations) == 1
+        assert "0xF0002000" in violations[0].detail
+
+    def test_non_sfr_literals_allowed(self):
+        source = (
+            "_main:\n    LOAD d1, 0x12345678\n"
+            "    LOAD a4, 0x10000000\n    HALT\n"
+        )
+        assert check_hardwired_addresses("T", source) == []
+
+    def test_comments_ignored(self):
+        source = "_main:\n    NOP ; uses 0xF0002000 conceptually\n"
+        assert check_hardwired_addresses("T", source) == []
+
+    def test_line_numbers_reported(self):
+        source = "\n\n    LOAD a4, 0xF0001000\n"
+        violations = check_hardwired_addresses("T", source)
+        assert "line 3" in violations[0].detail
+
+
+class TestEnvironmentSweep:
+    def test_check_environment_aggregates(self):
+        env = make_nvm_environment(1)
+        env.add_test(
+            TestCell(
+                name="TEST_MIXED_ABUSE",
+                source=(
+                    ".INCLUDE Globals.inc\n"
+                    "_main:\n"
+                    "    LOAD a4, 0xF0002000\n"
+                    "    LOAD CallAddr, ES_Init_Register\n"
+                    "    CALL CallAddr\n"
+                    "    JMP Base_Report_Pass\n"
+                ),
+            )
+        )
+        violations = check_environment(env, SC88A, TARGET_GOLDEN)
+        kinds = {v.kind for v in violations}
+        assert ViolationKind.DIRECT_CALL in kinds
+        assert ViolationKind.HARDWIRED_ADDRESS in kinds
+        assert all(
+            v.test_name == "TEST_MIXED_ABUSE" for v in violations
+        )

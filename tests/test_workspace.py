@@ -1,0 +1,151 @@
+"""Tests for on-disk workspaces (Figures 3 and 5)."""
+
+import pytest
+
+from repro.core.system_env import make_default_system
+from repro.core.targets import TARGET_GOLDEN
+from repro.core.workloads import make_nvm_environment
+from repro.core.workspace import (
+    ABSTRACTION_DIR,
+    DiskBuilder,
+    GLOBAL_LIBRARIES_DIR,
+    load_module_environment,
+    SYSTEM_DIR_NAME,
+    TESTPLAN_FILE,
+    validate_module_tree,
+    validate_system_tree,
+    write_module_environment,
+    write_system_environment,
+)
+from repro.platforms.base import RunStatus
+from repro.soc.derivatives import SC88A, SC88C
+
+
+@pytest.fixture
+def module_tree(tmp_path):
+    env = make_nvm_environment(2)
+    return write_module_environment(env, tmp_path), env
+
+
+@pytest.fixture
+def system_tree(tmp_path):
+    system = make_default_system(nvm_tests=1, uart_tests=1)
+    return write_system_environment(system, tmp_path), system
+
+
+class TestModuleTree:
+    def test_figure3_layout(self, module_tree):
+        module_dir, _ = module_tree
+        assert (module_dir / ABSTRACTION_DIR / "Globals.inc").is_file()
+        assert (
+            module_dir / ABSTRACTION_DIR / "Base_Functions.asm"
+        ).is_file()
+        assert (module_dir / TESTPLAN_FILE).is_file()
+        assert (module_dir / "TEST_NVM_PAGE_001" / "test.asm").is_file()
+
+    def test_validation_clean(self, module_tree):
+        module_dir, _ = module_tree
+        assert validate_module_tree(module_dir) == []
+
+    def test_validation_catches_missing_testplan(self, module_tree):
+        module_dir, _ = module_tree
+        (module_dir / TESTPLAN_FILE).unlink()
+        issues = validate_module_tree(module_dir)
+        assert any("TESTPLAN" in str(i) for i in issues)
+
+    def test_validation_catches_missing_abstraction(self, module_tree):
+        module_dir, _ = module_tree
+        (module_dir / ABSTRACTION_DIR / "Globals.inc").unlink()
+        issues = validate_module_tree(module_dir)
+        assert any("Globals.inc" in str(i) for i in issues)
+
+    def test_validation_rejects_derivative_specific_names(self, tmp_path):
+        bad = tmp_path / "SC88A_NVM"
+        bad.mkdir()
+        issues = validate_module_tree(bad)
+        assert any("derivative-specific" in str(i) for i in issues)
+
+    def test_missing_directory(self, tmp_path):
+        issues = validate_module_tree(tmp_path / "GHOST")
+        assert issues and "not a directory" in str(issues[0])
+
+    def test_testplan_written_grep_able(self, module_tree):
+        module_dir, _ = module_tree
+        text = (module_dir / TESTPLAN_FILE).read_text()
+        assert "NVM_001" in text  # searchable from the command line
+
+
+class TestModuleRoundTrip:
+    def test_load_back(self, module_tree):
+        module_dir, env = module_tree
+        loaded = load_module_environment(module_dir)
+        assert set(loaded.cells) == set(env.cells)
+        assert loaded.globals_text() == env.globals_text()
+        assert loaded.testplan.find("NVM_001") is not None
+
+    def test_loaded_environment_runs(self, module_tree):
+        module_dir, _ = module_tree
+        loaded = load_module_environment(module_dir)
+        result = loaded.run_test("TEST_NVM_PAGE_001", SC88A)
+        assert result.status is RunStatus.PASS
+
+    def test_disk_is_source_of_truth(self, module_tree):
+        """Editing Globals.inc on disk changes the loaded build — the
+        tree is a working abstraction layer, not an export."""
+        module_dir, _ = module_tree
+        globals_path = module_dir / ABSTRACTION_DIR / "Globals.inc"
+        text = globals_path.read_text()
+        globals_path.write_text(
+            text.replace(
+                "TEST1_TARGET_PAGE .EQU 0xa", "TEST1_TARGET_PAGE .EQU 0xb"
+            )
+        )
+        loaded = load_module_environment(module_dir)
+        assert "0xb" in loaded.globals_text() or "0xa" not in loaded.globals_text()
+
+    def test_invalid_tree_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid module tree"):
+            load_module_environment(tmp_path / "GHOST")
+
+
+class TestSystemTree:
+    def test_figure5_layout(self, system_tree):
+        system_dir, system = system_tree
+        assert system_dir.name == SYSTEM_DIR_NAME
+        libraries = system_dir / GLOBAL_LIBRARIES_DIR
+        assert (libraries / "Trap_Handlers.asm").is_file()
+        assert (libraries / "Global_Test_Functions.asm").is_file()
+        for env_name in system.environments:
+            assert (system_dir / env_name).is_dir()
+
+    def test_validation_clean(self, system_tree):
+        system_dir, _ = system_tree
+        assert validate_system_tree(system_dir) == []
+
+    def test_validation_catches_missing_libraries(self, system_tree):
+        system_dir, _ = system_tree
+        (system_dir / GLOBAL_LIBRARIES_DIR / "Trap_Handlers.asm").unlink()
+        issues = validate_system_tree(system_dir)
+        assert any("Trap_Handlers" in str(i) for i in issues)
+
+
+class TestDiskBuilder:
+    def test_build_and_run_from_disk(self, system_tree):
+        system_dir, _ = system_tree
+        builder = DiskBuilder(system_dir)
+        result = builder.run(
+            "NVM", "TEST_NVM_PAGE_001", SC88A, TARGET_GOLDEN
+        )
+        assert result.status is RunStatus.PASS
+
+    def test_build_for_other_derivative(self, system_tree):
+        system_dir, _ = system_tree
+        builder = DiskBuilder(system_dir)
+        result = builder.run(
+            "NVM", "TEST_NVM_PAGE_001", SC88C, TARGET_GOLDEN
+        )
+        assert result.status is RunStatus.PASS
+
+    def test_invalid_tree_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid system tree"):
+            DiskBuilder(tmp_path)
