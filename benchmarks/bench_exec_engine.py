@@ -1,0 +1,159 @@
+"""Execution-engine benchmarks: predecode throughput and matrix wall-time.
+
+Records the two numbers ISSUE 1 ties the engine to:
+
+- instructions/sec of the interpreter with the predecode cache on vs.
+  off (the ISA-layer win);
+- wall-time of the full six-platform system regression, serial seed
+  baseline (cold builds, fresh platform per run, per-retire decode) vs.
+  the engine (build cache + execution sessions + predecode + scheduler),
+  asserting the >= 3x target;
+- a warm-cache re-regression of an unchanged workspace, asserting it
+  executes **zero** platform runs while reproducing the verdict matrix.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.assembler.assembler import Assembler
+from repro.assembler.linker import Linker
+from repro.core.regression import RegressionReport, detect_divergences
+from repro.core.scheduler import RegressionScheduler, ResultCache
+from repro.core.system_env import make_default_system
+from repro.core.targets import all_targets
+from repro.platforms import ExecutionSession, GoldenModel
+from repro.soc.derivatives import SC88A
+from repro.soc.device import PASS_MAGIC
+
+from conftest import shape
+
+MEMORY_MAP = SC88A.memory_map()
+
+LOOP_ITERATIONS = 30_000
+
+HOT_LOOP_SOURCE = f"""\
+_main:
+    LOAD d1, {LOOP_ITERATIONS}
+loop:
+    ADDI d2, d2, 1
+    XOR d3, d3, d2
+    DJNZ d1, loop
+    LOAD d0, {PASS_MAGIC:#x}
+    HALT
+"""
+
+
+def link_source(source: str):
+    obj = Assembler().assemble_source(source, "bench.asm")
+    return Linker(
+        text_base=MEMORY_MAP.text_base, data_base=MEMORY_MAP.data_base
+    ).link([obj])
+
+
+def run_serial_baseline(environments, derivative) -> RegressionReport:
+    """The seed's behaviour: cold build and fresh platform per matrix
+    entry, per-retire decode in the interpreter."""
+    report = RegressionReport(derivative=derivative.name)
+    for env in environments.values():
+        for cell_name in env.cells:
+            per_target = {}
+            for tgt in all_targets():
+                artifacts = env.build_image(
+                    cell_name, derivative, tgt, use_cache=False
+                )
+                platform = tgt.make_platform()
+                platform.use_decode_cache = False
+                result = platform.run(artifacts.image, derivative)
+                per_target[tgt.name] = result
+                report.results[(env.name, cell_name, tgt.name)] = result
+            detect_divergences(env.name, cell_name, per_target, report)
+    return report
+
+
+def statuses(report: RegressionReport):
+    return {key: result.status for key, result in report.results.items()}
+
+
+def best_of(repeats: int, fn):
+    best = None
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, value
+
+
+def test_predecode_instruction_throughput():
+    image = link_source(HOT_LOOP_SOURCE)
+
+    def run(use_cache: bool):
+        session = ExecutionSession(
+            GoldenModel(), SC88A, use_decode_cache=use_cache
+        )
+        return session.run(image)
+
+    legacy_time, legacy = best_of(3, lambda: run(False))
+    cached_time, cached = best_of(3, lambda: run(True))
+    assert cached.instructions == legacy.instructions
+    assert cached.cycles == legacy.cycles
+    legacy_ips = legacy.instructions / legacy_time
+    cached_ips = cached.instructions / cached_time
+    shape(
+        "exec engine: interpreter throughput "
+        f"{legacy_ips:,.0f} -> {cached_ips:,.0f} instr/sec "
+        f"({cached_ips / legacy_ips:.2f}x with predecode cache)"
+    )
+    # The hot loop re-retires the same three ROM words; decoding them
+    # once must beat decoding them every retire.
+    assert cached_ips > legacy_ips
+
+
+def test_system_regression_matrix_speedup():
+    baseline_system = make_default_system(nvm_tests=2, uart_tests=1)
+    baseline_time, baseline_report = best_of(
+        1, lambda: run_serial_baseline(baseline_system.environments, SC88A)
+    )
+
+    engine_system = make_default_system(nvm_tests=2, uart_tests=1)
+    scheduler = RegressionScheduler()
+    engine_time, engine_report = best_of(
+        1, lambda: scheduler.run_system(engine_system.environments, SC88A)
+    )
+
+    assert statuses(engine_report) == statuses(baseline_report)
+    assert engine_report.clean
+    speedup = baseline_time / engine_time
+    shape(
+        "exec engine: full six-platform matrix "
+        f"({engine_report.total_runs} runs) "
+        f"{baseline_time:.2f}s serial baseline -> {engine_time:.2f}s "
+        f"engine ({speedup:.1f}x)"
+    )
+    assert speedup >= 3.0, (
+        f"engine speedup {speedup:.2f}x below the 3x target "
+        f"(baseline {baseline_time:.2f}s, engine {engine_time:.2f}s)"
+    )
+
+
+def test_warm_cache_reregression_executes_nothing(tmp_path):
+    system = make_default_system(nvm_tests=2, uart_tests=1)
+    cache = ResultCache(tmp_path / "verdicts")
+    scheduler = RegressionScheduler(cache=cache)
+
+    cold = scheduler.run_system(system.environments, SC88A)
+    assert cold.executed_runs == cold.total_runs
+
+    warm_time, warm = best_of(
+        1, lambda: scheduler.run_system(system.environments, SC88A)
+    )
+    assert warm.executed_runs == 0
+    assert warm.cached_runs == warm.total_runs
+    assert statuses(warm) == statuses(cold)
+    assert warm.divergences == cold.divergences == []
+    shape(
+        "exec engine: warm-cache re-regression of an unchanged workspace "
+        f"executed 0 of {warm.total_runs} runs in {warm_time:.2f}s"
+    )

@@ -20,6 +20,7 @@ gates, emulator and silicon).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.assembler.errors import LinkError, UNKNOWN_LOCATION
@@ -74,6 +75,26 @@ class MemoryImage:
             return self.symbols[name]
         except KeyError:
             raise LinkError(f"symbol {name!r} not present in image") from None
+
+    def digest(self) -> str:
+        """Content digest over segments and entry point.
+
+        Two images with equal digests load and execute identically, so
+        the digest keys the decode-cache registry and the persistent
+        regression result cache.  Memoised; images are treated as
+        immutable once linked.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is not None:
+            return cached
+        hasher = hashlib.sha256()
+        hasher.update(str(self.entry).encode())
+        for segment in sorted(self.segments, key=lambda s: s.base):
+            hasher.update(segment.base.to_bytes(8, "little"))
+            hasher.update(len(segment.data).to_bytes(8, "little"))
+            hasher.update(segment.data)
+        self._digest = hasher.hexdigest()
+        return self._digest
 
 
 @dataclass

@@ -36,8 +36,8 @@ import sys
 from pathlib import Path
 
 from repro.core.porting import compare_nvm_port
-from repro.core.regression import RegressionRunner
 from repro.core.reporting import regression_matrix, render_table
+from repro.core.scheduler import RegressionScheduler, ResultCache
 from repro.core.system_env import make_default_system
 from repro.core.targets import all_targets, target as lookup_target
 from repro.core.testplan import TestPlan
@@ -132,8 +132,16 @@ def cmd_regress(args: argparse.Namespace) -> int:
         if args.targets
         else all_targets()
     )
-    runner = RegressionRunner(targets=targets)
-    report = runner.run_system(environments, deriv)
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    scheduler = RegressionScheduler(
+        targets=targets,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache=cache,
+    )
+    report = scheduler.run_system(environments, deriv)
     print(regression_matrix(report))
     print(report.summary())
     return 0 if report.clean else 1
@@ -229,6 +237,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_regress.add_argument("--derivative", default="sc88a")
     p_regress.add_argument(
         "--targets", default=None, help="comma-separated target names"
+    )
+    p_regress.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker count for the pooled executors (default: serial)",
+    )
+    p_regress.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default="auto",
+        help="how matrix entries execute (auto: process pool when --jobs > 1)",
+    )
+    p_regress.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result cache; unchanged cells are not re-run",
+    )
+    p_regress.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and execute every matrix entry",
     )
     p_regress.set_defaults(func=cmd_regress)
 

@@ -22,6 +22,7 @@ the one image every platform runs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.assembler.assembler import Assembler
@@ -29,7 +30,7 @@ from repro.assembler.linker import Linker, MemoryImage
 from repro.assembler.objectfile import ObjectFile
 from repro.assembler.preprocessor import InMemoryProvider
 from repro.core.basefuncs import generate_base_functions
-from repro.core.defines import GlobalDefines
+from repro.core.defines import GlobalDefines, target_entries
 from repro.core.globals_layer import (
     generate_global_test_functions,
     generate_trap_handlers,
@@ -38,7 +39,7 @@ from repro.core.targets import Target, all_targets, target as lookup_target
 from repro.core.testplan import TestPlan
 from repro.platforms.base import RunResult
 from repro.soc.derivatives import Derivative, all_derivatives
-from repro.soc.embedded import assemble_embedded_software
+from repro.soc.embedded import assemble_embedded_software, es_source
 
 GLOBALS_FILENAME = "Globals.inc"
 BASE_FUNCTIONS_FILENAME = "Base_Functions.asm"
@@ -145,6 +146,10 @@ class ModuleTestEnvironment:
         self.global_layer = global_layer or GlobalLayer(self.derivatives)
         self.cells: dict[str, TestCell] = {}
         self.testplan = TestPlan(module=name)
+        #: Build caches — keyed by source fingerprint + effective build
+        #: inputs, so editing a cell or a define invalidates naturally.
+        self._image_cache: dict[tuple, BuildArtifacts] = {}
+        self._object_cache: dict[tuple, object] = {}
 
     # -- test layer management ----------------------------------------------
     def add_test(self, cell: TestCell) -> None:
@@ -169,12 +174,34 @@ class ModuleTestEnvironment:
 
     # -- abstraction layer rendering --------------------------------------
     def globals_text(self) -> str:
-        return self.defines.render()
+        # Rendering is pure in the defines' state; memoise on a cheap
+        # state token so a matrix build renders once, while mutations
+        # through set_extra / set_derivative_extra still invalidate.
+        state = (
+            tuple(sorted(self.defines.extras.items())),
+            tuple(
+                (name, tuple(sorted(extras.items())))
+                for name, extras in sorted(
+                    self.defines.derivative_extras.items()
+                )
+            ),
+        )
+        cached = getattr(self, "_globals_render", None)
+        if cached is not None and cached[0] == state:
+            return cached[1]
+        text = self.defines.render()
+        self._globals_render = (state, text)
+        return text
 
     def base_functions_text(self) -> str:
-        return generate_base_functions(
+        cached = getattr(self, "_basefuncs_render", None)
+        if cached is not None and cached[0] == self.extra_base_functions:
+            return cached[1]
+        text = generate_base_functions(
             self.derivatives, self.extra_base_functions
         )
+        self._basefuncs_render = (self.extra_base_functions, text)
+        return text
 
     def abstraction_files(self) -> dict[str, str]:
         return {
@@ -183,12 +210,88 @@ class ModuleTestEnvironment:
         }
 
     # -- building ---------------------------------------------------------------
-    def _provider(self) -> InMemoryProvider:
+    def _source_files(self) -> dict[str, str]:
         files = dict(self.abstraction_files())
         files.update(self.global_layer.library_files())
         for cell in self.cells.values():
             files[cell.filename] = cell.source
-        return InMemoryProvider(files)
+        return files
+
+    def _provider(self) -> InMemoryProvider:
+        return InMemoryProvider(self._source_files())
+
+    @staticmethod
+    def _files_fingerprint(files: dict[str, str]) -> str:
+        hasher = hashlib.sha256()
+        for name in sorted(files):
+            hasher.update(name.encode())
+            hasher.update(b"\0")
+            hasher.update(files[name].encode())
+            hasher.update(b"\0")
+        return hasher.hexdigest()
+
+    def build_signature(
+        self, tgt: Target, files: dict[str, str] | None = None
+    ) -> tuple:
+        """What a build actually takes from *tgt*, as a hashable key.
+
+        A target influences the assembled output only through the
+        defines it contributes to ``Globals.inc``
+        (:func:`~repro.core.defines.target_entries`: poll budgets,
+        delay loops) — unless some source outside ``Globals.inc``
+        references the target's ``TARGET_*`` predefine directly, in
+        which case the predefine joins the signature.  Two targets with
+        equal signatures produce byte-identical builds, so the image
+        cache shares one build between them (golden/accelerator and
+        bondout/silicon pair up in the default catalogue).
+        """
+        if files is None:
+            files = self._source_files()
+        signature = tuple(
+            (entry.name, entry.value) for entry in target_entries(tgt)
+        )
+        for name, text in files.items():
+            if name != GLOBALS_FILENAME and tgt.predefine in text:
+                return signature + (tgt.predefine,)
+        return signature
+
+    def _target_sensitive(
+        self,
+        files: dict[str, str],
+        texts: list[str],
+        tgt: Target,
+        define_names: tuple[str, ...],
+        _seen: set[str] | None = None,
+    ) -> bool:
+        """Whether assembling *texts* can produce target-dependent output.
+
+        ``Globals.inc`` defines every target's values, but a file is only
+        affected if it *uses* one of the target-contributed define names
+        (or the ``TARGET_*`` predefine) — directly or through a file it
+        includes.  Unknown includes are treated as sensitive.
+        """
+        seen = _seen if _seen is not None else set()
+        for text in texts:
+            if tgt.predefine in text:
+                return True
+            if any(name in text for name in define_names):
+                return True
+            for line in text.splitlines():
+                stripped = line.strip()
+                if not stripped.upper().startswith(".INCLUDE"):
+                    continue
+                parts = stripped.split(None, 1)
+                included = parts[1].strip().strip('"') if len(parts) > 1 else ""
+                if included == GLOBALS_FILENAME or included in seen:
+                    continue  # Globals only matters via used names
+                seen.add(included)
+                if included not in files:
+                    return True
+                if self._target_sensitive(
+                    files, [files[included]], tgt, define_names, seen
+                ):
+                    return True
+        return False
 
     def _predefines(
         self, derivative: Derivative, tgt: Target
@@ -216,18 +319,75 @@ class ModuleTestEnvironment:
         cell_name: str,
         derivative: Derivative,
         tgt: Target,
+        use_cache: bool = True,
     ) -> BuildArtifacts:
-        """Assemble + link one test cell for (derivative, target)."""
+        """Assemble + link one test cell for (derivative, target).
+
+        Builds are memoised two ways: whole images by (cell, derivative,
+        target signature, source fingerprint), and the shared-layer
+        object files (base functions, trap handlers, global functions,
+        embedded software) by the same key minus the cell — so a
+        regression sweeping many cells and targets assembles each layer
+        once per distinct build input, not once per matrix entry.
+        Editing any source or define changes the fingerprint and
+        invalidates both caches.  ``use_cache=False`` forces a cold
+        build (ablation baselines).
+        """
         cell = self.cell(cell_name)
+        files = self._source_files()
+        fingerprint = self._files_fingerprint(files)
+        signature = self.build_signature(tgt, files=files)
+        image_key = (cell_name, derivative.name, signature, fingerprint)
+        if use_cache:
+            cached = self._image_cache.get(image_key)
+            if cached is not None:
+                return cached
+
         assembler = Assembler(
-            provider=self._provider(),
+            provider=InMemoryProvider(files),
             predefines=self._predefines(derivative, tgt),
         )
-        test_object = assembler.assemble_file(cell.filename)
-        base_functions_object = assembler.assemble_file(
-            BASE_FUNCTIONS_FILENAME
+        define_names = tuple(
+            entry.name for entry in target_entries(tgt)
         )
-        global_objects = self.global_layer.assemble(assembler, derivative)
+
+        def cached_object(label: str, texts: list[str], build):
+            if not use_cache:
+                return build()
+            # Files that never touch a target-contributed define (or the
+            # TARGET_* predefine) assemble identically for every target,
+            # so their cache key drops the target signature entirely.
+            file_signature = (
+                signature
+                if self._target_sensitive(files, texts, tgt, define_names)
+                else ()
+            )
+            key = (label, derivative.name, file_signature, fingerprint)
+            obj = self._object_cache.get(key)
+            if obj is None:
+                obj = build()
+                self._object_cache[key] = obj
+            return obj
+
+        test_object = cached_object(
+            cell.filename,
+            [cell.source],
+            lambda: assembler.assemble_file(cell.filename),
+        )
+        base_functions_object = cached_object(
+            BASE_FUNCTIONS_FILENAME,
+            [files[BASE_FUNCTIONS_FILENAME]],
+            lambda: assembler.assemble_file(BASE_FUNCTIONS_FILENAME),
+        )
+        global_objects = cached_object(
+            "__global_layer__",
+            [
+                files[TRAP_HANDLERS_FILENAME],
+                files[GLOBAL_FUNCTIONS_FILENAME],
+                es_source(derivative.es_version),
+            ],
+            lambda: self.global_layer.assemble(assembler, derivative),
+        )
         memory_map = derivative.memory_map()
         linker = Linker(
             text_base=memory_map.text_base, data_base=memory_map.data_base
@@ -235,12 +395,15 @@ class ModuleTestEnvironment:
         image = linker.link(
             [test_object, base_functions_object] + global_objects
         )
-        return BuildArtifacts(
+        artifacts = BuildArtifacts(
             image=image,
             test_object=test_object,
             base_functions_object=base_functions_object,
             global_objects=global_objects,
         )
+        if use_cache:
+            self._image_cache[image_key] = artifacts
+        return artifacts
 
     # -- running -------------------------------------------------------------
     def run_test(

@@ -49,6 +49,10 @@ class RegressionReport:
         default_factory=dict
     )
     divergences: list[Divergence] = field(default_factory=list)
+    #: Platform runs actually executed vs. served from the persistent
+    #: result cache (incremental regression bookkeeping).
+    executed_runs: int = 0
+    cached_runs: int = 0
 
     @property
     def total_runs(self) -> int:
@@ -81,6 +85,11 @@ class RegressionReport:
             f"{self.passing_runs}/{self.total_runs} runs ok, "
             f"{len(self.divergences)} divergence(s)"
         ]
+        if self.cached_runs:
+            lines.append(
+                f"  {self.executed_runs} run(s) executed, "
+                f"{self.cached_runs} served from cache"
+            )
         for platform, count in sorted(self.suspect_platforms().items()):
             lines.append(
                 f"  platform {platform!r} diverges on {count} test(s) "
@@ -89,8 +98,45 @@ class RegressionReport:
         return "\n".join(lines)
 
 
+def detect_divergences(
+    env_name: str,
+    cell_name: str,
+    per_target: dict[str, RunResult],
+    report: RegressionReport,
+) -> None:
+    """Compare one cell's per-target verdicts against the golden model
+    and record divergences (the paper's bug-attribution step)."""
+    if REFERENCE_TARGET not in per_target:
+        return
+    reference = per_target[REFERENCE_TARGET]
+    for target_name, result in per_target.items():
+        if target_name == REFERENCE_TARGET:
+            continue
+        # NO_DATA platforms (product silicon without pin reporting)
+        # cannot diverge — they report nothing.
+        if result.status is RunStatus.NO_DATA:
+            continue
+        if result.status is not reference.status:
+            report.divergences.append(
+                Divergence(
+                    environment=env_name,
+                    test_name=cell_name,
+                    platform=target_name,
+                    reference_status=reference.status,
+                    observed_status=result.status,
+                )
+            )
+
+
 class RegressionRunner:
-    """Runs module environments across targets and compares verdicts."""
+    """Runs module environments across targets and compares verdicts.
+
+    Thin compatibility facade over
+    :class:`~repro.core.scheduler.RegressionScheduler` running serially
+    without a persistent result cache — the verdicts the original
+    serial loops produced, minus their per-(cell, target) platform
+    construction and build churn.
+    """
 
     def __init__(
         self,
@@ -102,67 +148,27 @@ class RegressionRunner:
         #: faulty gate-level simulator, C2).
         self.platform_overrides = dict(platform_overrides or {})
 
-    def _platform_for(self, tgt: Target) -> Platform:
-        if tgt.name in self.platform_overrides:
-            return self.platform_overrides[tgt.name]
-        return tgt.make_platform()
+    def _scheduler(self):
+        from repro.core.scheduler import RegressionScheduler
+
+        return RegressionScheduler(
+            targets=self.targets,
+            platform_overrides=self.platform_overrides,
+        )
 
     def run_environment(
         self,
         env: ModuleTestEnvironment,
         derivative: Derivative,
     ) -> RegressionReport:
-        report = RegressionReport(derivative=derivative.name)
-        for cell_name in env.cells:
-            per_target: dict[str, RunResult] = {}
-            for tgt in self.targets:
-                artifacts = env.build_image(cell_name, derivative, tgt)
-                platform = self._platform_for(tgt)
-                result = platform.run(artifacts.image, derivative)
-                per_target[tgt.name] = result
-                report.results[(env.name, cell_name, tgt.name)] = result
-            self._detect_divergence(env.name, cell_name, per_target, report)
-        return report
+        return self._scheduler().run_environment(env, derivative)
 
     def run_system(
         self,
         environments: dict[str, ModuleTestEnvironment],
         derivative: Derivative,
     ) -> RegressionReport:
-        combined = RegressionReport(derivative=derivative.name)
-        for env in environments.values():
-            partial = self.run_environment(env, derivative)
-            combined.results.update(partial.results)
-            combined.divergences.extend(partial.divergences)
-        return combined
-
-    def _detect_divergence(
-        self,
-        env_name: str,
-        cell_name: str,
-        per_target: dict[str, RunResult],
-        report: RegressionReport,
-    ) -> None:
-        if REFERENCE_TARGET not in per_target:
-            return
-        reference = per_target[REFERENCE_TARGET]
-        for target_name, result in per_target.items():
-            if target_name == REFERENCE_TARGET:
-                continue
-            # NO_DATA platforms (product silicon without pin reporting)
-            # cannot diverge — they report nothing.
-            if result.status is RunStatus.NO_DATA:
-                continue
-            if result.status is not reference.status:
-                report.divergences.append(
-                    Divergence(
-                        environment=env_name,
-                        test_name=cell_name,
-                        platform=target_name,
-                        reference_status=reference.status,
-                        observed_status=result.status,
-                    )
-                )
+        return self._scheduler().run_system(environments, derivative)
 
 
 def quick_regression(

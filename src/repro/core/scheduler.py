@@ -1,0 +1,459 @@
+"""Regression scheduling: explicit work-lists, pluggable executors, and
+a persistent result cache for incremental re-regression.
+
+The paper's regression is a (cells × platforms) matrix over one linked
+image per build input.  The original runner walked that matrix with
+nested loops, rebuilding the platform and the image for every entry.
+This module makes the matrix explicit:
+
+1. **work-list** — every matrix entry becomes a :class:`RunRequest`
+   carrying its pre-built image (builds are shared through the module
+   environment's build cache, so targets with identical build inputs
+   share one image);
+2. **cache probe** — a :class:`ResultCache` keyed by (image digest,
+   target, derivative, platform fingerprint) satisfies entries whose
+   inputs have not changed since the last regression — the lab's
+   incremental re-run: touch one test cell and only its column of the
+   matrix re-executes;
+3. **execution** — remaining entries run on a pluggable executor:
+   serial (one long-lived :class:`ExecutionSession` per target), or a
+   ``concurrent.futures`` thread/process pool batched by target, so
+   every worker also amortises device construction;
+4. **report** — the familiar :class:`RegressionReport`, with
+   executed-vs-cached bookkeeping and the golden-reference divergence
+   attribution unchanged.
+
+Targets with injected platform overrides (fault-injection experiments)
+always execute serially in-process and bypass the cache: an override's
+behaviour is arbitrary Python state that neither pickles reliably nor
+fingerprints honestly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.assembler.linker import MemoryImage
+from repro.core.environment import ModuleTestEnvironment
+from repro.core.regression import (
+    RegressionReport,
+    detect_divergences,
+)
+from repro.core.targets import (
+    Target,
+    all_targets,
+    target as lookup_target,
+)
+from repro.platforms.base import (
+    DEFAULT_MAX_INSTRUCTIONS,
+    Platform,
+    RunResult,
+    RunStatus,
+)
+from repro.platforms.cpu import TraceEntry
+from repro.platforms.session import ExecutionSession
+from repro.soc.derivatives import Derivative, derivative as lookup_derivative
+
+#: Bump when run semantics change in a way that invalidates old caches.
+CACHE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One (environment, cell, derivative, target) matrix entry."""
+
+    environment: str
+    cell: str
+    derivative: str
+    target: str
+
+
+@dataclass
+class RunOutcome:
+    """A request plus how its result was obtained."""
+
+    request: RunRequest
+    result: RunResult
+    cached: bool = False
+
+
+# --------------------------------------------------------------------------
+# result (de)serialisation for the persistent cache
+# --------------------------------------------------------------------------
+
+def result_to_payload(result: RunResult) -> dict:
+    return {
+        "platform": result.platform,
+        "derivative": result.derivative,
+        "status": result.status.value,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "signature": result.signature,
+        "result_word": result.result_word,
+        "uart_output": result.uart_output,
+        "done_pin": result.done_pin,
+        "pass_pin": result.pass_pin,
+        "fault_reason": result.fault_reason,
+        "trace": (
+            None
+            if result.trace is None
+            else [
+                [t.pc, t.opcode, t.mnemonic, t.cycles]
+                for t in result.trace
+            ]
+        ),
+        "registers": result.registers,
+    }
+
+
+def result_from_payload(payload: dict) -> RunResult:
+    trace = payload["trace"]
+    return RunResult(
+        platform=payload["platform"],
+        derivative=payload["derivative"],
+        status=RunStatus(payload["status"]),
+        instructions=payload["instructions"],
+        cycles=payload["cycles"],
+        signature=payload["signature"],
+        result_word=payload["result_word"],
+        uart_output=payload["uart_output"],
+        done_pin=payload["done_pin"],
+        pass_pin=payload["pass_pin"],
+        fault_reason=payload["fault_reason"],
+        trace=(
+            None
+            if trace is None
+            else [TraceEntry(pc, op, mn, cy) for pc, op, mn, cy in trace]
+        ),
+        registers=payload["registers"],
+    )
+
+
+class ResultCache:
+    """Persistent (image digest, target, derivative) -> result store.
+
+    One JSON file per key under *directory*.  The key includes a schema
+    version and the platform's behavioural fingerprint, so platform
+    changes invalidate rather than replay stale verdicts.  Corrupt or
+    unreadable entries are treated as misses.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _platform_fingerprint(tgt: Target) -> str:
+        platform_cls = type(tgt.make_platform())
+        return "|".join(
+            str(part)
+            for part in (
+                platform_cls.__name__,
+                platform_cls.sees_registers,
+                platform_cls.sees_memory,
+                platform_cls.sees_uart,
+                platform_cls.sees_trace,
+                platform_cls.cycle_accurate,
+            )
+        )
+
+    def key_for(
+        self,
+        image: MemoryImage,
+        tgt: Target,
+        derivative: Derivative,
+        max_instructions: int,
+    ) -> str:
+        hasher = hashlib.sha256()
+        for part in (
+            f"schema={CACHE_SCHEMA}",
+            image.digest(),
+            tgt.name,
+            derivative.name,
+            self._platform_fingerprint(tgt),
+            str(max_instructions),
+        ):
+            hasher.update(part.encode())
+            hasher.update(b"\0")
+        return hasher.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> RunResult | None:
+        try:
+            payload = json.loads(self._path(key).read_text())
+            result = result_from_payload(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        path = self._path(key)
+        # Unique tmp name: concurrent regressions may share a cache dir,
+        # and a fixed tmp path would let one writer replace another's
+        # half-written file (or race os.replace into FileNotFoundError).
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key}.", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(result_to_payload(result)))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+# --------------------------------------------------------------------------
+# executors
+# --------------------------------------------------------------------------
+
+def _run_target_batch(payload):
+    """Worker: run one target's batch of images on one shared session.
+
+    Module-level so process pools can pickle it; thread pools use it
+    too, giving every worker its own platform/device to mutate.
+    """
+    target_name, derivative_name, max_instructions, batch = payload
+    tgt = lookup_target(target_name)
+    derivative = lookup_derivative(derivative_name)
+    session = ExecutionSession(tgt.make_platform(), derivative)
+    return [
+        (request, session.run(image, max_instructions=max_instructions))
+        for request, image in batch
+    ]
+
+
+class RegressionScheduler:
+    """Runs the regression matrix with sharing, pooling and caching."""
+
+    def __init__(
+        self,
+        targets: list[Target] | None = None,
+        platform_overrides: dict[str, Platform] | None = None,
+        jobs: int = 1,
+        executor: str = "auto",
+        cache: ResultCache | None = None,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ):
+        if executor not in ("auto", "serial", "thread", "process"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.targets = list(targets or all_targets())
+        self.platform_overrides = dict(platform_overrides or {})
+        self.jobs = max(1, int(jobs))
+        self.executor = executor
+        self.cache = cache
+        self.max_instructions = max_instructions
+
+    # -- public API -----------------------------------------------------------
+    def run_environment(
+        self,
+        env: ModuleTestEnvironment,
+        derivative: Derivative,
+    ) -> RegressionReport:
+        return self.run_system({env.name: env}, derivative)
+
+    def run_system(
+        self,
+        environments: dict[str, ModuleTestEnvironment],
+        derivative: Derivative,
+    ) -> RegressionReport:
+        work = self._work_list(environments, derivative)
+        outcomes: dict[RunRequest, RunOutcome] = {}
+
+        pending: list[tuple[RunRequest, MemoryImage, Target]] = []
+        cache_keys: dict[RunRequest, str] = {}
+        for request, image, tgt in work:
+            cached = self._probe_cache(request, image, tgt, derivative,
+                                       cache_keys)
+            if cached is not None:
+                outcomes[request] = cached
+            else:
+                pending.append((request, image, tgt))
+
+        for request, result in self._execute(pending, derivative):
+            outcomes[request] = RunOutcome(request, result)
+            key = cache_keys.get(request)
+            if key is not None:
+                self.cache.put(key, result)
+
+        return self._assemble_report(work, outcomes, derivative)
+
+    # -- work-list ---------------------------------------------------------
+    def _work_list(
+        self,
+        environments: dict[str, ModuleTestEnvironment],
+        derivative: Derivative,
+    ) -> list[tuple[RunRequest, MemoryImage, Target]]:
+        work: list[tuple[RunRequest, MemoryImage, Target]] = []
+        for env in environments.values():
+            for cell_name in env.cells:
+                for tgt in self.targets:
+                    artifacts = env.build_image(cell_name, derivative, tgt)
+                    request = RunRequest(
+                        environment=env.name,
+                        cell=cell_name,
+                        derivative=derivative.name,
+                        target=tgt.name,
+                    )
+                    work.append((request, artifacts.image, tgt))
+        return work
+
+    # -- caching -----------------------------------------------------------
+    def _probe_cache(
+        self,
+        request: RunRequest,
+        image: MemoryImage,
+        tgt: Target,
+        derivative: Derivative,
+        cache_keys: dict[RunRequest, str],
+    ) -> RunOutcome | None:
+        if self.cache is None or tgt.name in self.platform_overrides:
+            return None
+        key = self.cache.key_for(
+            image, tgt, derivative, self.max_instructions
+        )
+        cache_keys[request] = key
+        result = self.cache.get(key)
+        if result is None:
+            return None
+        return RunOutcome(request, result, cached=True)
+
+    # -- execution ---------------------------------------------------------
+    def _execute(
+        self,
+        pending: list[tuple[RunRequest, MemoryImage, Target]],
+        derivative: Derivative,
+    ) -> list[tuple[RunRequest, RunResult]]:
+        overridden = [
+            item
+            for item in pending
+            if item[2].name in self.platform_overrides
+        ]
+        normal = [
+            item
+            for item in pending
+            if item[2].name not in self.platform_overrides
+        ]
+
+        results: list[tuple[RunRequest, RunResult]] = []
+        results.extend(self._run_overridden(overridden, derivative))
+
+        executor = self.executor
+        if executor == "auto":
+            executor = "serial" if self.jobs <= 1 else "process"
+        if executor == "serial" or self.jobs <= 1 or len(normal) <= 1:
+            results.extend(self._run_serial(normal, derivative))
+        else:
+            results.extend(self._run_pooled(normal, derivative, executor))
+        return results
+
+    def _run_overridden(
+        self,
+        items: list[tuple[RunRequest, MemoryImage, Target]],
+        derivative: Derivative,
+    ) -> list[tuple[RunRequest, RunResult]]:
+        sessions: dict[str, ExecutionSession] = {}
+        out = []
+        for request, image, tgt in items:
+            session = sessions.get(tgt.name)
+            if session is None:
+                session = ExecutionSession(
+                    self.platform_overrides[tgt.name], derivative
+                )
+                sessions[tgt.name] = session
+            out.append(
+                (
+                    request,
+                    session.run(
+                        image, max_instructions=self.max_instructions
+                    ),
+                )
+            )
+        return out
+
+    def _run_serial(
+        self,
+        items: list[tuple[RunRequest, MemoryImage, Target]],
+        derivative: Derivative,
+    ) -> list[tuple[RunRequest, RunResult]]:
+        sessions: dict[str, ExecutionSession] = {}
+        out = []
+        for request, image, tgt in items:
+            session = sessions.get(tgt.name)
+            if session is None:
+                session = ExecutionSession(tgt.make_platform(), derivative)
+                sessions[tgt.name] = session
+            out.append(
+                (
+                    request,
+                    session.run(
+                        image, max_instructions=self.max_instructions
+                    ),
+                )
+            )
+        return out
+
+    def _run_pooled(
+        self,
+        items: list[tuple[RunRequest, MemoryImage, Target]],
+        derivative: Derivative,
+        executor: str,
+    ) -> list[tuple[RunRequest, RunResult]]:
+        batches: dict[str, list[tuple[RunRequest, MemoryImage]]] = {}
+        for request, image, tgt in items:
+            batches.setdefault(tgt.name, []).append((request, image))
+        payloads = [
+            (target_name, derivative.name, self.max_instructions, batch)
+            for target_name, batch in batches.items()
+        ]
+        pool_cls = (
+            ThreadPoolExecutor
+            if executor == "thread"
+            else ProcessPoolExecutor
+        )
+        workers = min(self.jobs, len(payloads))
+        out: list[tuple[RunRequest, RunResult]] = []
+        with pool_cls(max_workers=workers) as pool:
+            for batch_result in pool.map(_run_target_batch, payloads):
+                out.extend(batch_result)
+        return out
+
+    # -- reporting ---------------------------------------------------------
+    def _assemble_report(
+        self,
+        work: list[tuple[RunRequest, MemoryImage, Target]],
+        outcomes: dict[RunRequest, RunOutcome],
+        derivative: Derivative,
+    ) -> RegressionReport:
+        report = RegressionReport(derivative=derivative.name)
+        per_cell: dict[tuple[str, str], dict[str, RunResult]] = {}
+        for request, _image, _tgt in work:
+            outcome = outcomes[request]
+            report.results[
+                (request.environment, request.cell, request.target)
+            ] = outcome.result
+            per_cell.setdefault(
+                (request.environment, request.cell), {}
+            )[request.target] = outcome.result
+            if outcome.cached:
+                report.cached_runs += 1
+            else:
+                report.executed_runs += 1
+        for (env_name, cell_name), per_target in per_cell.items():
+            detect_divergences(env_name, cell_name, per_target, report)
+        return report

@@ -1,0 +1,234 @@
+"""Predecoded-instruction cache: decode once per ROM word, not per retire.
+
+The interpreter's hot loop used to re-run opcode extraction, format-field
+unpacking and the base-cycle lookup on every retired instruction.  All of
+that is a pure function of the instruction word(s) — and test images
+execute from read-only ROM — so the work can be done once per distinct
+program-counter value and reused for every subsequent retire of that
+address (loops, repeated calls, and every later run of the same image).
+
+:class:`DecodeCache` is *lazy*: an address is decoded the first time the
+core fetches it, then memoised.  Laziness matters because images carry
+far more words (base functions, trap handlers, embedded software) than a
+short directed test ever executes; eager predecode of the whole ROM
+would cost more than it saves on the paper's small test cells.
+:meth:`DecodeCache.predecode_all` exists for benchmarks and tools that
+do want the eager sweep.
+
+Caches only cover addresses inside the read-only region they were built
+for (ROM).  RAM/NVM execution — including self-modifying code — misses
+the cache and falls back to the core's legacy fetch-decode path, which
+reads through the bus every time.
+
+Caches are shared across platforms via :func:`decode_cache_for`, keyed
+by the image's content digest: the six platforms of one regression run
+the same linked image, so the decode work is paid once per image, not
+once per platform.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.isa.encoding import decode_word, opcode_of
+from repro.isa.instructions import Opcode, lookup_opcode
+
+#: Base cycle cost per opcode (before wait states).  Owned by the ISA
+#: layer so decode + cycle lookup are a single cached step.
+BASE_CYCLES: dict[int, int] = {}
+
+
+def _cycles_for(opcode: Opcode) -> int:
+    two_cycle = {
+        Opcode.LD_W, Opcode.LD_H, Opcode.LD_B,
+        Opcode.ST_W, Opcode.ST_H, Opcode.ST_B,
+        Opcode.LDABS_D, Opcode.STABS_D, Opcode.LDABS_A, Opcode.STABS_A,
+        Opcode.LOAD_D, Opcode.LOAD_A,
+        Opcode.PUSH_D, Opcode.PUSH_A, Opcode.POP_D, Opcode.POP_A,
+        Opcode.INSERT,
+    }
+    three_cycle = {
+        Opcode.CALL_ABS, Opcode.CALL_IND, Opcode.RET, Opcode.RETI,
+        Opcode.TRAP, Opcode.MUL,
+    }
+    if opcode in two_cycle:
+        return 2
+    if opcode in three_cycle:
+        return 3
+    if opcode is Opcode.DIVU:
+        return 12
+    return 1
+
+
+for _op in Opcode:
+    BASE_CYCLES[int(_op)] = _cycles_for(_op)
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """One fully decoded instruction, ready for the execute stage.
+
+    ``fields`` is shared across every retire of this address — consumers
+    must treat it as read-only.  ``fetch_waits`` is the bus wait-state
+    cost a real fetch of this instruction's word(s) would have charged;
+    cycle-accurate cores add it so cached and uncached execution retire
+    identical cycle counts.
+    """
+
+    opcode: int
+    op: Opcode
+    mnemonic: str
+    fields: Mapping[str, int]
+    literal: int | None
+    size_bytes: int
+    base_cycles: int
+    fetch_waits: int
+
+
+class DecodeCache:
+    """Lazy pc -> :class:`DecodedInstruction` map over one image's ROM.
+
+    Shared across platforms (and thread-pool workers) for one image.
+    Entries are deterministic, so concurrent use is safe; the miss path
+    is locked to avoid duplicate decode work, while the per-retire hit
+    path stays lock-free — which makes :attr:`hits` approximate under
+    concurrency (telemetry, not semantics).
+    """
+
+    __slots__ = ("_entries", "_skip", "_segments", "_miss_lock",
+                 "hits", "misses")
+
+    def __init__(
+        self,
+        image,
+        region_base: int,
+        region_end: int,
+        wait_states: int = 0,
+    ):
+        #: (base, end, data, wait_states) per cacheable image segment.
+        self._segments: list[tuple[int, int, bytes, int]] = []
+        for segment in image.segments:
+            if segment.base >= region_end or segment.end <= region_base:
+                continue
+            self._segments.append(
+                (
+                    max(segment.base, region_base),
+                    min(segment.end, region_end),
+                    bytes(segment.data),
+                    wait_states,
+                )
+            )
+        self._segments.sort()
+        self._entries: dict[int, DecodedInstruction] = {}
+        #: Addresses proven non-cacheable (data words, illegal opcodes,
+        #: truncated two-word instructions) — never retried.
+        self._skip: set[int] = set()
+        self._miss_lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, pc: int) -> DecodedInstruction | None:
+        """The decoded instruction at *pc*, or ``None`` when the address
+        must go through the legacy bus-fetch path."""
+        entry = self._entries.get(pc)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        if pc in self._skip:
+            return None
+        with self._miss_lock:
+            entry = self._entries.get(pc)
+            if entry is not None:
+                return entry
+            entry = self._decode(pc)
+            if entry is None:
+                self._skip.add(pc)
+                return None
+            self._entries[pc] = entry
+            self.misses += 1
+        return entry
+
+    def predecode_all(self) -> int:
+        """Eagerly decode every aligned word (benchmarks/tools); returns
+        the number of cacheable entries."""
+        for base, end, _data, _waits in self._segments:
+            start = base + (-base % 4)
+            for pc in range(start, end - 3, 4):
+                self.get(pc)
+        return len(self._entries)
+
+    # -- internals ---------------------------------------------------------
+    def _word_at(self, pc: int) -> tuple[int, int] | None:
+        """(word, wait_states) for the aligned word at *pc*, or None."""
+        for base, end, data, waits in self._segments:
+            if base <= pc and pc + 4 <= end:
+                offset = pc - base
+                return (
+                    int.from_bytes(data[offset : offset + 4], "little"),
+                    waits,
+                )
+        return None
+
+    def _decode(self, pc: int) -> DecodedInstruction | None:
+        if pc % 4:
+            return None  # misaligned fetch: legacy path raises the trap
+        fetched = self._word_at(pc)
+        if fetched is None:
+            return None
+        word, waits = fetched
+        opcode = opcode_of(word)
+        try:
+            spec = lookup_opcode(opcode)
+        except KeyError:
+            return None  # illegal opcode: legacy path takes the trap
+        literal: int | None = None
+        fetch_waits = waits
+        if spec.fmt.has_literal:
+            second = self._word_at(pc + 4)
+            if second is None:
+                return None  # truncated literal: legacy path's business
+            literal, literal_waits = second
+            fetch_waits += literal_waits
+        return DecodedInstruction(
+            opcode=opcode,
+            op=Opcode(opcode),
+            mnemonic=spec.mnemonic,
+            fields=decode_word(spec.fmt, word),
+            literal=literal,
+            size_bytes=spec.size_bytes,
+            base_cycles=BASE_CYCLES[opcode],
+            fetch_waits=fetch_waits,
+        )
+
+
+#: digest-keyed registry so the six platforms of a regression (and many
+#: runs of one session) share decode work for the same linked image.
+_REGISTRY: dict[tuple, DecodeCache] = {}
+_REGISTRY_LIMIT = 256
+
+
+def decode_cache_for(
+    image,
+    region_base: int,
+    region_end: int,
+    wait_states: int = 0,
+) -> DecodeCache:
+    """The shared :class:`DecodeCache` for *image* over one ROM region.
+
+    Keyed by the image's content digest plus the region bounds and fetch
+    wait states, so distinct derivatives (different memory maps) never
+    collide and cycle-accurate platforms see correct fetch costs.
+    """
+    key = (image.digest(), region_base, region_end, wait_states)
+    cache = _REGISTRY.get(key)
+    if cache is None:
+        if len(_REGISTRY) >= _REGISTRY_LIMIT:
+            _REGISTRY.pop(next(iter(_REGISTRY)))
+        cache = DecodeCache(image, region_base, region_end, wait_states)
+        _REGISTRY[key] = cache
+    return cache

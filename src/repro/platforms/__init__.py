@@ -20,6 +20,7 @@ from repro.platforms.cpu import CpuCore, CpuFault, TraceEntry
 from repro.platforms.gatelevel import GateLevelSim, NetlistFault
 from repro.platforms.golden import GoldenModel
 from repro.platforms.rtl import RtlSim
+from repro.platforms.session import ExecutionSession
 from repro.platforms.silicon import ProductSilicon
 
 PLATFORM_CLASSES: dict[str, type[Platform]] = {
@@ -57,6 +58,7 @@ __all__ = [
     "CpuCore",
     "CpuFault",
     "DEFAULT_MAX_INSTRUCTIONS",
+    "ExecutionSession",
     "GateLevelSim",
     "GoldenModel",
     "NetlistFault",

@@ -100,6 +100,11 @@ class Platform(ABC):
     #: When True, ``run`` records every bus access into
     #: :attr:`last_bus_trace` (coverage collection; costs time).
     record_bus_trace: bool = False
+    #: When True, runs consume the shared per-image predecode cache
+    #: (:mod:`repro.isa.decodecache`) for ROM execution.  Disabled
+    #: automatically while a bus trace is being recorded, because the
+    #: cache elides instruction-fetch bus reads.
+    use_decode_cache: bool = True
 
     last_soc: SystemOnChip | None = None
     last_cpu: CpuCore | None = None
@@ -118,53 +123,20 @@ class Platform(ABC):
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
         entry_symbol: str = "_main",
     ) -> RunResult:
-        """Load *image* into a fresh device and execute until HALT."""
-        soc = self.build_soc(derivative)
-        soc.load_image(image)
-        trace: list | None = None
-        if self.record_bus_trace:
-            trace = []
-            soc.bus.trace_hooks.append(trace.append)
-        cpu = CpuCore(
-            soc.bus,
-            intc=soc.intc,
-            charge_wait_states=self.cycle_accurate,
+        """Load *image* into a fresh device and execute until HALT.
+
+        Implemented as a single-use
+        :class:`~repro.platforms.session.ExecutionSession`; callers that
+        run many images on one platform should hold a session themselves
+        to amortise device construction.
+        """
+        from repro.platforms.session import ExecutionSession
+
+        return ExecutionSession(self, derivative).run(
+            image,
+            max_instructions=max_instructions,
+            entry_symbol=entry_symbol,
         )
-        if self.sees_trace:
-            cpu.enable_trace()
-        self.configure_cpu(cpu, soc)
-        entry = image.entry
-        if entry is None:
-            entry = image.symbol(entry_symbol)
-        cpu.reset(entry, soc.memory_map.stack_top)
-
-        fault_reason: str | None = None
-        status: RunStatus
-        try:
-            while not cpu.halted:
-                if cpu.instructions_retired >= max_instructions:
-                    break
-                consumed = cpu.step()
-                soc.tick(max(consumed, 1))
-                if soc.watchdog_expired:
-                    break
-        except CpuFault as fault:
-            fault_reason = str(fault)
-
-        self.last_soc = soc
-        self.last_cpu = cpu
-        self.last_bus_trace = trace
-
-        if fault_reason is not None:
-            status = RunStatus.FAULT
-        elif soc.watchdog_expired:
-            status = RunStatus.WATCHDOG
-        elif not cpu.halted:
-            status = RunStatus.TIMEOUT
-        else:
-            status = self.judge(cpu, soc)
-
-        return self.collect(cpu, soc, derivative, status, fault_reason)
 
     # -- overridable observation points -----------------------------------
     def judge(self, cpu: CpuCore, soc: SystemOnChip) -> RunStatus:

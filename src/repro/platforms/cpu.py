@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.isa.decodecache import BASE_CYCLES, DecodeCache
 from repro.isa.encoding import decode_word, opcode_of, sign_extend_16
 from repro.isa.instructions import Opcode, lookup_opcode
 from repro.isa.registers import RegisterFile, WORD_MASK
@@ -57,34 +58,9 @@ class TraceEntry:
     cycles: int
 
 
-#: Base cycle cost per opcode (before wait states).
-_BASE_CYCLES: dict[int, int] = {}
-
-
-def _cycles_for(opcode: Opcode) -> int:
-    two_cycle = {
-        Opcode.LD_W, Opcode.LD_H, Opcode.LD_B,
-        Opcode.ST_W, Opcode.ST_H, Opcode.ST_B,
-        Opcode.LDABS_D, Opcode.STABS_D, Opcode.LDABS_A, Opcode.STABS_A,
-        Opcode.LOAD_D, Opcode.LOAD_A,
-        Opcode.PUSH_D, Opcode.PUSH_A, Opcode.POP_D, Opcode.POP_A,
-        Opcode.INSERT,
-    }
-    three_cycle = {
-        Opcode.CALL_ABS, Opcode.CALL_IND, Opcode.RET, Opcode.RETI,
-        Opcode.TRAP, Opcode.MUL,
-    }
-    if opcode in two_cycle:
-        return 2
-    if opcode in three_cycle:
-        return 3
-    if opcode is Opcode.DIVU:
-        return 12
-    return 1
-
-
-for _op in Opcode:
-    _BASE_CYCLES[int(_op)] = _cycles_for(_op)
+#: Base cycle cost per opcode — owned by the ISA decode layer so decode
+#: and cycle lookup cache together; re-exported here for compatibility.
+_BASE_CYCLES = BASE_CYCLES
 
 _JUMP_TAKEN_EXTRA = 1
 
@@ -111,6 +87,11 @@ class CpuCore:
         #: Optional fault-injection hook: called with (opcode, result) and
         #: may return a corrupted result.  Used by the gate-level platform.
         self.alu_fault_hook: Callable[[int, int], int] | None = None
+        #: Predecoded-instruction cache over the loaded image's ROM; when
+        #: set, fetch/decode for cached addresses skips the bus entirely.
+        #: RAM execution and self-modifying code miss it and take the
+        #: legacy per-step decode path below.
+        self.decode_cache: DecodeCache | None = None
 
     # -- lifecycle ---------------------------------------------------------
     def reset(self, entry: int, stack_pointer: int) -> None:
@@ -190,31 +171,53 @@ class CpuCore:
         self._check_interrupts()
 
         pc = self.regs.pc
-        try:
-            word = self._read(pc, 4)
-        except BusError:
-            self.take_trap(TRAP_BUS_ERROR, pc)
-            self.cycles += 2
-            return self.cycles - start_cycles
+        entry = (
+            self.decode_cache.get(pc)
+            if self.decode_cache is not None
+            else None
+        )
+        if entry is not None:
+            # Predecoded fast path: fetch, decode and base-cycle lookup
+            # were done once for this address; charge the wait states a
+            # real fetch would have cost so timing stays identical.
+            if self.charge_wait_states:
+                self._pending_waits += entry.fetch_waits
+            opcode = entry.opcode
+            op = entry.op
+            fields = entry.fields
+            literal = entry.literal
+            next_pc = pc + entry.size_bytes
+            mnemonic = entry.mnemonic
+            base_cycles = entry.base_cycles
+        else:
+            # Legacy path: bus fetch + per-step decode.  Kept for RAM
+            # execution, self-modifying code and fault/trap cases.
+            try:
+                word = self._read(pc, 4)
+            except BusError:
+                self.take_trap(TRAP_BUS_ERROR, pc)
+                self.cycles += 2
+                return self.cycles - start_cycles
 
-        opcode = opcode_of(word)
-        try:
-            spec = lookup_opcode(opcode)
-        except KeyError:
-            self.take_trap(TRAP_ILLEGAL_OPCODE, pc + 4)
-            self.cycles += 2
-            return self.cycles - start_cycles
+            opcode = opcode_of(word)
+            try:
+                spec = lookup_opcode(opcode)
+            except KeyError:
+                self.take_trap(TRAP_ILLEGAL_OPCODE, pc + 4)
+                self.cycles += 2
+                return self.cycles - start_cycles
 
-        literal = None
-        if spec.fmt.has_literal:
-            literal = self._read(pc + 4, 4)
-        next_pc = pc + spec.size_bytes
-        fields = decode_word(spec.fmt, word)
+            literal = None
+            if spec.fmt.has_literal:
+                literal = self._read(pc + 4, 4)
+            next_pc = pc + spec.size_bytes
+            fields = decode_word(spec.fmt, word)
+            op = Opcode(opcode)
+            mnemonic = spec.mnemonic
+            base_cycles = _BASE_CYCLES[opcode]
 
         try:
-            taken = self._execute(
-                Opcode(opcode), fields, literal, next_pc
-            )
+            taken = self._execute(op, fields, literal, next_pc)
         except BusError:
             # Convert data-access failures into the architectural trap.
             self.take_trap(TRAP_BUS_ERROR, next_pc)
@@ -223,13 +226,13 @@ class CpuCore:
             return self.cycles - start_cycles
 
         self.instructions_retired += 1
-        cost = _BASE_CYCLES[opcode] + self._pending_waits
+        cost = base_cycles + self._pending_waits
         if taken:
             cost += _JUMP_TAKEN_EXTRA
         self.cycles += cost
 
         if self.trace is not None and len(self.trace) < self._trace_limit:
-            self.trace.append(TraceEntry(pc, opcode, spec.mnemonic, cost))
+            self.trace.append(TraceEntry(pc, opcode, mnemonic, cost))
         return self.cycles - start_cycles
 
     # -- execution ---------------------------------------------------------

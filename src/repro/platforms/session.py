@@ -1,0 +1,137 @@
+"""Reusable execution sessions: build a platform's device once, run many.
+
+Historically every :meth:`Platform.run` call constructed a fresh
+:class:`~repro.soc.device.SystemOnChip` (memory maps, register layouts,
+peripherals) and a fresh :class:`~repro.platforms.cpu.CpuCore`.  For a
+regression matrix that cost is paid (cells × platforms) times even
+though nothing about the device depends on the test cell.
+
+:class:`ExecutionSession` splits the platform's run loop into the three
+phases a lab bench actually has — *reset*, *run*, *observe* — over one
+long-lived device:
+
+- ``reset``: :meth:`SystemOnChip.full_reset` restores the
+  just-constructed state (peripherals, RAM, ROM, NVM) between images;
+- ``run``: load an image, attach the shared predecode cache for its ROM,
+  and execute to HALT/timeout/fault exactly as ``Platform.run`` did;
+- ``observe``: the platform's ``judge``/``collect`` hooks derive the
+  verdict from whatever that platform can legitimately see.
+
+``Platform.run`` now delegates to a throwaway session, so its
+fresh-device-per-call semantics (``last_soc``/``last_cpu`` inspection)
+are unchanged; the :class:`~repro.core.scheduler.RegressionScheduler`
+keeps one session per (target, derivative) alive for the whole matrix.
+"""
+
+from __future__ import annotations
+
+from repro.assembler.linker import MemoryImage
+from repro.isa.decodecache import decode_cache_for
+from repro.platforms.cpu import CpuCore, CpuFault
+from repro.soc.derivatives import Derivative
+
+
+class ExecutionSession:
+    """One (platform, derivative) device reused across many runs."""
+
+    def __init__(
+        self,
+        platform,
+        derivative: Derivative,
+        use_decode_cache: bool | None = None,
+    ):
+        self.platform = platform
+        self.derivative = derivative
+        self.soc = platform.build_soc(derivative)
+        self.cpu = CpuCore(
+            self.soc.bus,
+            intc=self.soc.intc,
+            charge_wait_states=platform.cycle_accurate,
+        )
+        platform.configure_cpu(self.cpu, self.soc)
+        self.use_decode_cache = (
+            platform.use_decode_cache
+            if use_decode_cache is None
+            else use_decode_cache
+        )
+        self.runs_completed = 0
+
+    def run(
+        self,
+        image: MemoryImage,
+        max_instructions: int | None = None,
+        entry_symbol: str = "_main",
+    ):
+        """Reset the device, load *image*, execute, observe a verdict."""
+        from repro.platforms.base import (
+            DEFAULT_MAX_INSTRUCTIONS,
+            RunStatus,
+        )
+
+        if max_instructions is None:
+            max_instructions = DEFAULT_MAX_INSTRUCTIONS
+        platform = self.platform
+        soc = self.soc
+        cpu = self.cpu
+
+        # -- reset ---------------------------------------------------------
+        if self.runs_completed:
+            soc.full_reset()
+        soc.load_image(image)
+        bus_trace: list | None = None
+        if platform.record_bus_trace:
+            bus_trace = []
+            soc.bus.trace_hooks.append(bus_trace.append)
+        if platform.sees_trace:
+            cpu.enable_trace()
+        entry = image.entry
+        if entry is None:
+            entry = image.symbol(entry_symbol)
+        cpu.reset(entry, soc.memory_map.stack_top)
+
+        # The predecode cache elides instruction-fetch bus reads, so it
+        # must stay off whenever someone is watching the bus (coverage
+        # collectors expect fetches in the trace).
+        if self.use_decode_cache and not soc.bus.trace_hooks:
+            rom = soc.memory_map.rom
+            mapping = soc.bus.mapping_for(rom.base, 4)
+            cpu.decode_cache = decode_cache_for(
+                image, rom.base, rom.base + rom.size, mapping.wait_states
+            )
+        else:
+            cpu.decode_cache = None
+
+        # -- run -----------------------------------------------------------
+        fault_reason: str | None = None
+        try:
+            while not cpu.halted:
+                if cpu.instructions_retired >= max_instructions:
+                    break
+                consumed = cpu.step()
+                soc.tick(max(consumed, 1))
+                if soc.watchdog_expired:
+                    break
+        except CpuFault as fault:
+            fault_reason = str(fault)
+        finally:
+            if bus_trace is not None:
+                soc.bus.trace_hooks.remove(bus_trace.append)
+        self.runs_completed += 1
+
+        # -- observe -------------------------------------------------------
+        platform.last_soc = soc
+        platform.last_cpu = cpu
+        platform.last_bus_trace = bus_trace
+
+        if fault_reason is not None:
+            status = RunStatus.FAULT
+        elif soc.watchdog_expired:
+            status = RunStatus.WATCHDOG
+        elif not cpu.halted:
+            status = RunStatus.TIMEOUT
+        else:
+            status = platform.judge(cpu, soc)
+
+        return platform.collect(
+            cpu, soc, self.derivative, status, fault_reason
+        )

@@ -131,6 +131,20 @@ class SystemOnChip:
             peripheral.reset()
         self.ram.load(0, bytes(self.memory_map.ram.size))
 
+    def full_reset(self) -> None:
+        """Return the device to its just-constructed state.
+
+        Beyond :meth:`reset` (peripherals + RAM), this also clears ROM
+        and the NVM array and the bus bookkeeping, so one SoC instance
+        can host many independent runs — an
+        :class:`~repro.platforms.session.ExecutionSession` calls this
+        between images instead of rebuilding the whole device.
+        """
+        self.reset()
+        self.rom.load(0, bytes(self.memory_map.rom.size))
+        self.nvm.array.load(0, bytes(len(self.nvm.array.data)))
+        self.bus.access_count = 0
+
     def load_image(self, image: MemoryImage) -> None:
         """Backdoor-load a linked image into ROM/RAM/NVM."""
         for segment in image.segments:
