@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.platforms.base import Platform
-from repro.soc.bus import BusAccess
+from repro.soc.bus import BusAccess, BusTrace
 from repro.soc.derivatives import Derivative
 
 
@@ -104,28 +104,51 @@ class CoverageCollector:
                 self.register_map.all_register_addresses().items()
             )
         }
+        # Per-register write sinks, precomputed so the trace drain does
+        # no register-map lookups per access: name -> ((values_set,
+        # extract), ...) over that register's fields.
+        self._field_sinks: dict[str, tuple] = {}
+        for name in self._address_index.values():
+            register = self.register_map.register_def(name)
+            self._field_sinks[name] = tuple(
+                (self.report.fields[f"{name}.{fld.name}"].values, fld.extract)
+                for fld in register.fields
+            )
 
     # -- feeding ----------------------------------------------------------
     def observe_bus_access(self, access: BusAccess) -> None:
         if access.kind != "write":
             return
-        name = self._address_index.get(access.address)
+        self._observe_write(access.address, access.value)
+
+    def _observe_write(self, address: int, value: int) -> None:
+        name = self._address_index.get(address)
         if name is None:
             return
         self.report.registers_written.add(name)
-        register = self.register_map.register_def(name)
-        for fld in register.fields:
-            key = f"{name}.{fld.name}"
-            self.report.fields[key].values.add(fld.extract(access.value))
+        for values, extract in self._field_sinks[name]:
+            values.add(extract(value))
+
+    def observe_trace(self, trace: BusTrace) -> None:
+        """Drain a flat bus-trace buffer without materialising
+        :class:`BusAccess` objects."""
+        observe_write = self._observe_write
+        for kind, address, _size, value in trace.raw():
+            if kind == "write":
+                observe_write(address, value)
 
     def observe_platform(self, platform: Platform) -> None:
         """Harvest the device left behind by ``platform.run``."""
         soc = platform.last_soc
         if soc is None:
             return
-        if platform.last_bus_trace:
-            for access in platform.last_bus_trace:
-                self.observe_bus_access(access)
+        trace = platform.last_bus_trace
+        if trace:
+            if isinstance(trace, BusTrace):
+                self.observe_trace(trace)
+            else:
+                for access in trace:
+                    self.observe_bus_access(access)
         for operation, page in soc.nvm.operation_log:
             if operation == "prog":
                 self.report.nvm_pages_programmed.add(page)

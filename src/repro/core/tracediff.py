@@ -15,9 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Sequence
+
 from repro.assembler.linker import MemoryImage
 from repro.platforms.base import Platform
-from repro.platforms.cpu import TraceEntry
+from repro.platforms.cpu import InstructionTrace, TraceEntry
 from repro.soc.derivatives import Derivative
 
 
@@ -48,8 +50,11 @@ class TraceComparison:
 
     reference_platform: str
     subject_platform: str
-    reference_trace: list[TraceEntry]
-    subject_trace: list[TraceEntry]
+    #: Sequences of :class:`TraceEntry` — the live ``InstructionTrace``
+    #: from a run (entries materialise lazily on indexing) or plain
+    #: lists.
+    reference_trace: Sequence[TraceEntry]
+    subject_trace: Sequence[TraceEntry]
     divergence: DivergencePoint | None
 
     @property
@@ -84,16 +89,40 @@ class TraceComparison:
         return lines
 
 
+def _raw_events(trace: Sequence[TraceEntry]) -> Sequence:
+    """(pc, opcode, ...)-indexable events without materialising views."""
+    if isinstance(trace, InstructionTrace):
+        return trace.raw()
+    return trace
+
+
+def _entry_of(event) -> TraceEntry | None:
+    if event is None or isinstance(event, TraceEntry):
+        return event
+    return TraceEntry(*event)
+
+
+def _key(event) -> tuple[int, int]:
+    """The (pc, opcode) identity of a raw tuple or TraceEntry."""
+    if type(event) is tuple:
+        return event[0], event[1]
+    return event.pc, event.opcode
+
+
 def _first_divergence(
-    reference: list[TraceEntry], subject: list[TraceEntry]
+    reference: Sequence[TraceEntry], subject: Sequence[TraceEntry]
 ) -> DivergencePoint | None:
-    for index in range(max(len(reference), len(subject))):
-        ref = reference[index] if index < len(reference) else None
-        sub = subject[index] if index < len(subject) else None
+    # Compare the flat (pc, opcode, ...) events; only the fork point is
+    # materialised into TraceEntry views.
+    ref_events = _raw_events(reference)
+    sub_events = _raw_events(subject)
+    for index in range(max(len(ref_events), len(sub_events))):
+        ref = ref_events[index] if index < len(ref_events) else None
+        sub = sub_events[index] if index < len(sub_events) else None
         if ref is None or sub is None:
-            return DivergencePoint(index, ref, sub)
-        if (ref.pc, ref.opcode) != (sub.pc, sub.opcode):
-            return DivergencePoint(index, ref, sub)
+            return DivergencePoint(index, _entry_of(ref), _entry_of(sub))
+        if _key(ref) != _key(sub):
+            return DivergencePoint(index, _entry_of(ref), _entry_of(sub))
     return None
 
 
@@ -116,8 +145,8 @@ def compare_traces(
             )
     reference.run(image, derivative, max_instructions=max_instructions)
     subject.run(image, derivative, max_instructions=max_instructions)
-    reference_trace = list(reference.last_cpu.trace or [])
-    subject_trace = list(subject.last_cpu.trace or [])
+    reference_trace = reference.last_cpu.trace or []
+    subject_trace = subject.last_cpu.trace or []
     return TraceComparison(
         reference_platform=reference.name,
         subject_platform=subject.name,

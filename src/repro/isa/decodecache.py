@@ -32,8 +32,9 @@ import threading
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.isa.encoding import decode_word, opcode_of
+from repro.isa.encoding import decode_word, opcode_of, sign_extend_16
 from repro.isa.instructions import Opcode, lookup_opcode
+from repro.isa.registers import WORD_MASK
 
 #: Base cycle cost per opcode (before wait states).  Owned by the ISA
 #: layer so decode + cycle lookup are a single cached step.
@@ -66,6 +67,36 @@ for _op in Opcode:
     BASE_CYCLES[int(_op)] = _cycles_for(_op)
 
 
+#: Word-size memory micro-ops the core executes on a dedicated fast
+#: path (no flag updates, no ALU-fault hook involvement): the decode
+#: cache pre-classifies them and precomputes their operands so the
+#: execute stage is one register access plus one word bus access.
+MEM_NONE = 0
+MEM_LD_W = 1
+MEM_ST_W = 2
+MEM_PUSH_D = 3
+MEM_POP_D = 4
+MEM_PUSH_A = 5
+MEM_POP_A = 6
+MEM_LDABS_D = 7
+MEM_LDABS_A = 8
+MEM_STABS_D = 9
+MEM_STABS_A = 10
+
+_MEM_KINDS: dict[Opcode, int] = {
+    Opcode.LD_W: MEM_LD_W,
+    Opcode.ST_W: MEM_ST_W,
+    Opcode.PUSH_D: MEM_PUSH_D,
+    Opcode.POP_D: MEM_POP_D,
+    Opcode.PUSH_A: MEM_PUSH_A,
+    Opcode.POP_A: MEM_POP_A,
+    Opcode.LDABS_D: MEM_LDABS_D,
+    Opcode.LDABS_A: MEM_LDABS_A,
+    Opcode.STABS_D: MEM_STABS_D,
+    Opcode.STABS_A: MEM_STABS_A,
+}
+
+
 @dataclass(frozen=True)
 class DecodedInstruction:
     """One fully decoded instruction, ready for the execute stage.
@@ -85,6 +116,20 @@ class DecodedInstruction:
     size_bytes: int
     base_cycles: int
     fetch_waits: int
+    #: The bus events a real fetch of this instruction would have
+    #: recorded — ``("read", pc, 4, word)`` per fetched word.  The core
+    #: replays them (``Bus.emit_fetches``) when a bus trace is active,
+    #: so the cache can stay enabled under observation.
+    fetch_events: tuple[tuple[str, int, int, int], ...] = ()
+    #: Memory micro-op classification (``MEM_*``; 0 = execute through
+    #: the generic dispatch chain) with precomputed operands:
+    #: ``mem_r1`` the data/address register moved, ``mem_r2`` the base
+    #: address register, ``mem_disp`` the sign-extended displacement
+    #: (indexed forms) or the absolute address (LDABS/STABS forms).
+    mem_kind: int = MEM_NONE
+    mem_r1: int = 0
+    mem_r2: int = 0
+    mem_disp: int = 0
 
 
 class DecodeCache:
@@ -188,21 +233,36 @@ class DecodeCache:
             return None  # illegal opcode: legacy path takes the trap
         literal: int | None = None
         fetch_waits = waits
+        fetch_events = (("read", pc, 4, word),)
         if spec.fmt.has_literal:
             second = self._word_at(pc + 4)
             if second is None:
                 return None  # truncated literal: legacy path's business
             literal, literal_waits = second
             fetch_waits += literal_waits
+            fetch_events += (("read", pc + 4, 4, literal),)
+        op = Opcode(opcode)
+        fields = decode_word(spec.fmt, word)
+        mem_kind = _MEM_KINDS.get(op, MEM_NONE)
+        mem_disp = 0
+        if mem_kind in (MEM_LD_W, MEM_ST_W):
+            mem_disp = sign_extend_16(fields["imm16"])
+        elif mem_kind >= MEM_LDABS_D:
+            mem_disp = literal & WORD_MASK if literal is not None else 0
         return DecodedInstruction(
             opcode=opcode,
-            op=Opcode(opcode),
+            op=op,
             mnemonic=spec.mnemonic,
-            fields=decode_word(spec.fmt, word),
+            fields=fields,
             literal=literal,
             size_bytes=spec.size_bytes,
             base_cycles=BASE_CYCLES[opcode],
             fetch_waits=fetch_waits,
+            fetch_events=fetch_events,
+            mem_kind=mem_kind,
+            mem_r1=fields.get("r1", 0),
+            mem_r2=fields.get("r2", 0),
+            mem_disp=mem_disp,
         )
 
 

@@ -16,7 +16,7 @@ from repro.platforms.base import (
     RunStatus,
 )
 from repro.platforms.bondout import Bondout
-from repro.platforms.cpu import CpuCore, CpuFault, TraceEntry
+from repro.platforms.cpu import CpuCore, CpuFault, InstructionTrace, TraceEntry
 from repro.platforms.gatelevel import GateLevelSim, NetlistFault
 from repro.platforms.golden import GoldenModel
 from repro.platforms.rtl import RtlSim
@@ -61,6 +61,7 @@ __all__ = [
     "ExecutionSession",
     "GateLevelSim",
     "GoldenModel",
+    "InstructionTrace",
     "NetlistFault",
     "PLATFORM_CLASSES",
     "Platform",

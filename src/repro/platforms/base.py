@@ -29,7 +29,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 from repro.assembler.linker import MemoryImage
-from repro.platforms.cpu import CpuCore, CpuFault, TraceEntry
+from repro.platforms.cpu import CpuCore, CpuFault, InstructionTrace, TraceEntry
+from repro.soc.bus import BusTrace
 from repro.soc.derivatives import Derivative
 from repro.soc.device import FAIL_MAGIC, PASS_MAGIC, SystemOnChip
 
@@ -62,7 +63,10 @@ class RunResult:
     done_pin: int | None = None
     pass_pin: int | None = None
     fault_reason: str | None = None
-    trace: list[TraceEntry] | None = None
+    #: Retired-instruction log where trace visibility exists: the live
+    #: ``InstructionTrace`` from a run, or a ``list[TraceEntry]`` when
+    #: rehydrated from the result cache.
+    trace: InstructionTrace | list[TraceEntry] | None = None
     #: Register snapshot, where a debug port exists.
     registers: dict[str, int] | None = None
 
@@ -98,17 +102,20 @@ class Platform(ABC):
     #: platforms span orders of magnitude; benches report this).
     relative_speed: float = 1.0
     #: When True, ``run`` records every bus access into
-    #: :attr:`last_bus_trace` (coverage collection; costs time).
+    #: :attr:`last_bus_trace` (a flat :class:`~repro.soc.bus.BusTrace`
+    #: ring buffer; coverage drains it lazily).
     record_bus_trace: bool = False
     #: When True, runs consume the shared per-image predecode cache
-    #: (:mod:`repro.isa.decodecache`) for ROM execution.  Disabled
-    #: automatically while a bus trace is being recorded, because the
-    #: cache elides instruction-fetch bus reads.
+    #: (:mod:`repro.isa.decodecache`) for ROM execution.  The cache
+    #: stays enabled while a bus trace is recorded — the core replays
+    #: the elided instruction-fetch events into the trace.
     use_decode_cache: bool = True
 
     last_soc: SystemOnChip | None = None
     last_cpu: CpuCore | None = None
-    last_bus_trace: list | None = None
+    #: Bus-access recording of the last run (``BusTrace`` from ``run``;
+    #: any iterable of ``BusAccess`` is accepted by consumers).
+    last_bus_trace: "BusTrace | list | None" = None
 
     def build_soc(self, derivative: Derivative) -> SystemOnChip:
         return SystemOnChip(derivative)

@@ -22,11 +22,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.isa.decodecache import BASE_CYCLES, DecodeCache
+from repro.isa.decodecache import (
+    BASE_CYCLES,
+    DecodeCache,
+    MEM_LD_W,
+    MEM_LDABS_A,
+    MEM_LDABS_D,
+    MEM_POP_A,
+    MEM_POP_D,
+    MEM_PUSH_A,
+    MEM_PUSH_D,
+    MEM_ST_W,
+    MEM_STABS_A,
+    MEM_STABS_D,
+)
 from repro.isa.encoding import decode_word, opcode_of, sign_extend_16
 from repro.isa.instructions import Opcode, lookup_opcode
-from repro.isa.registers import RegisterFile, WORD_MASK
-from repro.soc.bus import Bus, BusError
+from repro.isa.registers import (
+    RegisterFile,
+    STACK_POINTER_INDEX,
+    WORD_MASK,
+)
+from repro.soc.bus import (
+    Bus,
+    BusError,
+    PAGE_SHIFT,
+    u32_pack_into as _u32_pack_into,
+    u32_unpack_from as _u32_unpack_from,
+)
 from repro.soc.memorymap import (
     IRQ_VECTOR_BASE,
     TRAP_BUS_ERROR,
@@ -58,6 +81,41 @@ class TraceEntry:
     cycles: int
 
 
+class InstructionTrace:
+    """Flat retire log: ``(pc, opcode, mnemonic, cycles)`` tuples.
+
+    Recording appends one tuple per retired instruction instead of a
+    :class:`TraceEntry` object; consumers that want objects get them
+    lazily through the sequence protocol, and bulk consumers
+    (:mod:`repro.core.tracediff`) destructure :meth:`raw` directly."""
+
+    __slots__ = ("_events", "_limit")
+
+    def __init__(self, limit: int = 100_000):
+        self._events: list[tuple[int, int, str, int]] = []
+        self._limit = limit
+
+    def record(self, pc: int, opcode: int, mnemonic: str, cycles: int) -> None:
+        if len(self._events) < self._limit:
+            self._events.append((pc, opcode, mnemonic, cycles))
+
+    def raw(self) -> list[tuple[int, int, str, int]]:
+        """The event list, oldest first — treat as read-only."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        for event in self._events:
+            yield TraceEntry(*event)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [TraceEntry(*event) for event in self._events[index]]
+        return TraceEntry(*self._events[index])
+
+
 #: Base cycle cost per opcode — owned by the ISA decode layer so decode
 #: and cycle lookup cache together; re-exported here for compatibility.
 _BASE_CYCLES = BASE_CYCLES
@@ -82,13 +140,14 @@ class CpuCore:
         self.instructions_retired = 0
         self.cycles = 0
         self.brk_events: list[int] = []
-        self.trace: list[TraceEntry] | None = None
+        self.trace: InstructionTrace | None = None
         self._pending_waits = 0
         #: Optional fault-injection hook: called with (opcode, result) and
         #: may return a corrupted result.  Used by the gate-level platform.
         self.alu_fault_hook: Callable[[int, int], int] | None = None
         #: Predecoded-instruction cache over the loaded image's ROM; when
-        #: set, fetch/decode for cached addresses skips the bus entirely.
+        #: set, fetch/decode for cached addresses skips the bus entirely
+        #: (a traced bus gets the elided fetch events replayed instead).
         #: RAM execution and self-modifying code miss it and take the
         #: legacy per-step decode path below.
         self.decode_cache: DecodeCache | None = None
@@ -104,29 +163,89 @@ class CpuCore:
         self._pending_waits = 0
 
     def enable_trace(self, limit: int = 100_000) -> None:
-        self.trace = []
-        self._trace_limit = limit
+        self.trace = InstructionTrace(limit)
 
     # -- bus helpers -----------------------------------------------------------
+    # Word accesses (fetch fallback, stack, word loads/stores) take the
+    # bus's word-specialised fast path; other sizes use the generic one.
     def _read(self, address: int, size: int) -> int:
-        value, waits = self.bus.read(address, size)
+        if size == 4:
+            value, waits = self.bus.read_word(address)
+        else:
+            value, waits = self.bus.read(address, size)
         if self.charge_wait_states:
             self._pending_waits += waits
         return value
 
     def _write(self, address: int, value: int, size: int) -> None:
-        waits = self.bus.write(address, value, size)
+        if size == 4:
+            waits = self.bus.write_word(address, value)
+        else:
+            waits = self.bus.write(address, value, size)
         if self.charge_wait_states:
             self._pending_waits += waits
 
     def _push(self, value: int) -> None:
-        self.regs.sp = (self.regs.sp - 4) & WORD_MASK
-        self._write(self.regs.sp, value & WORD_MASK, 4)
+        sp = (self.regs.sp - 4) & WORD_MASK
+        self.regs.sp = sp
+        waits = self.bus.write_word(sp, value & WORD_MASK)
+        if self.charge_wait_states:
+            self._pending_waits += waits
 
     def _pop(self) -> int:
-        value = self._read(self.regs.sp, 4)
+        value, waits = self.bus.read_word(self.regs.sp)
+        if self.charge_wait_states:
+            self._pending_waits += waits
         self.regs.sp = (self.regs.sp + 4) & WORD_MASK
         return value
+
+    # Direct word accessors for the predecoded memory micro-ops: when
+    # the access is untraced, aligned and lands on a Memory-backed page,
+    # read/write the mapping's byte buffer in place — no bus method
+    # call, no (value, waits) tuple.  Anything else (peripherals,
+    # partial pages, active tracing, misalignment) takes the bus's word
+    # path, which preserves full semantics.
+    def _read_word_fast(self, address: int) -> int:
+        bus = self.bus
+        if (
+            bus.trace_buffer is None
+            and not bus.trace_hooks
+            and not address & 3
+        ):
+            mapping = bus.page_table.get(address >> PAGE_SHIFT)
+            if mapping is not None and mapping.word_buf is not None:
+                bus.access_count += 1
+                if self.charge_wait_states:
+                    self._pending_waits += mapping.wait_states
+                return _u32_unpack_from(
+                    mapping.word_buf, address - mapping.base
+                )[0]
+        value, waits = bus.read_word(address)
+        if self.charge_wait_states:
+            self._pending_waits += waits
+        return value
+
+    def _write_word_fast(self, address: int, value: int) -> None:
+        bus = self.bus
+        if (
+            bus.trace_buffer is None
+            and not bus.trace_hooks
+            and not address & 3
+        ):
+            mapping = bus.page_table.get(address >> PAGE_SHIFT)
+            if mapping is not None and mapping.word_wbuf is not None:
+                bus.access_count += 1
+                if self.charge_wait_states:
+                    self._pending_waits += mapping.wait_states
+                _u32_pack_into(
+                    mapping.word_wbuf,
+                    address - mapping.base,
+                    value & 0xFFFF_FFFF,
+                )
+                return
+        waits = self.bus.write_word(address, value)
+        if self.charge_wait_states:
+            self._pending_waits += waits
 
     # -- traps / interrupts --------------------------------------------------
     def take_trap(self, number: int, return_pc: int) -> None:
@@ -179,9 +298,14 @@ class CpuCore:
         if entry is not None:
             # Predecoded fast path: fetch, decode and base-cycle lookup
             # were done once for this address; charge the wait states a
-            # real fetch would have cost so timing stays identical.
+            # real fetch would have cost so timing stays identical, and
+            # replay the fetch bus events when someone is watching the
+            # bus so traced runs observe the same access stream.
             if self.charge_wait_states:
                 self._pending_waits += entry.fetch_waits
+            bus = self.bus
+            if bus.trace_buffer is not None or bus.trace_hooks:
+                bus.emit_fetches(entry.fetch_events)
             opcode = entry.opcode
             op = entry.op
             fields = entry.fields
@@ -189,7 +313,9 @@ class CpuCore:
             next_pc = pc + entry.size_bytes
             mnemonic = entry.mnemonic
             base_cycles = entry.base_cycles
+            mem_kind = entry.mem_kind
         else:
+            mem_kind = 0
             # Legacy path: bus fetch + per-step decode.  Kept for RAM
             # execution, self-modifying code and fault/trap cases.
             try:
@@ -209,7 +335,15 @@ class CpuCore:
 
             literal = None
             if spec.fmt.has_literal:
-                literal = self._read(pc + 4, 4)
+                try:
+                    literal = self._read(pc + 4, 4)
+                except BusError:
+                    # Truncated two-word instruction at the end of
+                    # mapped memory: same architectural outcome as a
+                    # failed opcode-word fetch.
+                    self.take_trap(TRAP_BUS_ERROR, pc)
+                    self.cycles += 2
+                    return self.cycles - start_cycles
             next_pc = pc + spec.size_bytes
             fields = decode_word(spec.fmt, word)
             op = Opcode(opcode)
@@ -217,7 +351,58 @@ class CpuCore:
             base_cycles = _BASE_CYCLES[opcode]
 
         try:
-            taken = self._execute(op, fields, literal, next_pc)
+            if mem_kind:
+                # Predecoded word-memory micro-op: operands were
+                # precomputed at decode time and none of these opcodes
+                # touch the PSW or the ALU-fault hook, so execution is
+                # register moves plus one direct word access.
+                regs = self.regs
+                regs.pc = next_pc
+                r1 = entry.mem_r1
+                if mem_kind == MEM_LD_W:
+                    regs.data[r1] = self._read_word_fast(
+                        (regs.address[entry.mem_r2] + entry.mem_disp)
+                        & WORD_MASK
+                    )
+                elif mem_kind == MEM_ST_W:
+                    self._write_word_fast(
+                        (regs.address[entry.mem_r2] + entry.mem_disp)
+                        & WORD_MASK,
+                        regs.data[r1],
+                    )
+                elif mem_kind == MEM_PUSH_D:
+                    sp = (regs.address[STACK_POINTER_INDEX] - 4) & WORD_MASK
+                    regs.address[STACK_POINTER_INDEX] = sp
+                    self._write_word_fast(sp, regs.data[r1])
+                elif mem_kind == MEM_POP_D:
+                    regs.data[r1] = self._read_word_fast(
+                        regs.address[STACK_POINTER_INDEX]
+                    )
+                    regs.address[STACK_POINTER_INDEX] = (
+                        regs.address[STACK_POINTER_INDEX] + 4
+                    ) & WORD_MASK
+                elif mem_kind == MEM_PUSH_A:
+                    value = regs.address[r1]  # before sp update (PUSH sp)
+                    sp = (regs.address[STACK_POINTER_INDEX] - 4) & WORD_MASK
+                    regs.address[STACK_POINTER_INDEX] = sp
+                    self._write_word_fast(sp, value)
+                elif mem_kind == MEM_POP_A:
+                    value = self._read_word_fast(regs.address[STACK_POINTER_INDEX])
+                    regs.address[STACK_POINTER_INDEX] = (
+                        regs.address[STACK_POINTER_INDEX] + 4
+                    ) & WORD_MASK
+                    regs.address[r1] = value
+                elif mem_kind == MEM_LDABS_D:
+                    regs.data[r1] = self._read_word_fast(entry.mem_disp)
+                elif mem_kind == MEM_LDABS_A:
+                    regs.address[r1] = self._read_word_fast(entry.mem_disp)
+                elif mem_kind == MEM_STABS_D:
+                    self._write_word_fast(entry.mem_disp, regs.data[r1])
+                else:  # MEM_STABS_A
+                    self._write_word_fast(entry.mem_disp, regs.address[r1])
+                taken = False
+            else:
+                taken = self._execute(op, fields, literal, next_pc)
         except BusError:
             # Convert data-access failures into the architectural trap.
             self.take_trap(TRAP_BUS_ERROR, next_pc)
@@ -231,8 +416,8 @@ class CpuCore:
             cost += _JUMP_TAKEN_EXTRA
         self.cycles += cost
 
-        if self.trace is not None and len(self.trace) < self._trace_limit:
-            self.trace.append(TraceEntry(pc, opcode, mnemonic, cost))
+        if self.trace is not None:
+            self.trace.record(pc, opcode, mnemonic, cost)
         return self.cycles - start_cycles
 
     # -- execution ---------------------------------------------------------

@@ -28,6 +28,7 @@ from __future__ import annotations
 from repro.assembler.linker import MemoryImage
 from repro.isa.decodecache import decode_cache_for
 from repro.platforms.cpu import CpuCore, CpuFault
+from repro.soc.bus import BusTrace
 from repro.soc.derivatives import Derivative
 
 
@@ -78,10 +79,10 @@ class ExecutionSession:
         if self.runs_completed:
             soc.full_reset()
         soc.load_image(image)
-        bus_trace: list | None = None
+        bus_trace: BusTrace | None = None
         if platform.record_bus_trace:
-            bus_trace = []
-            soc.bus.trace_hooks.append(bus_trace.append)
+            bus_trace = BusTrace()
+            soc.bus.trace_buffer = bus_trace
         if platform.sees_trace:
             cpu.enable_trace()
         entry = image.entry
@@ -89,10 +90,11 @@ class ExecutionSession:
             entry = image.symbol(entry_symbol)
         cpu.reset(entry, soc.memory_map.stack_top)
 
-        # The predecode cache elides instruction-fetch bus reads, so it
-        # must stay off whenever someone is watching the bus (coverage
-        # collectors expect fetches in the trace).
-        if self.use_decode_cache and not soc.bus.trace_hooks:
+        # The predecode cache stays enabled under tracing: the core
+        # replays the elided fetch events into the trace, so coverage
+        # collectors and divergence hunts see the same access stream as
+        # a real bus fetch — at predecoded speed.
+        if self.use_decode_cache:
             rom = soc.memory_map.rom
             mapping = soc.bus.mapping_for(rom.base, 4)
             cpu.decode_cache = decode_cache_for(
@@ -115,7 +117,7 @@ class ExecutionSession:
             fault_reason = str(fault)
         finally:
             if bus_trace is not None:
-                soc.bus.trace_hooks.remove(bus_trace.append)
+                soc.bus.trace_buffer = None
         self.runs_completed += 1
 
         # -- observe -------------------------------------------------------

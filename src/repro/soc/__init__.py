@@ -9,7 +9,7 @@ embedded-software ROM that plays the paper's "global layer" firmware
 (:mod:`repro.soc.embedded`).
 """
 
-from repro.soc.bus import Bus, BusAccess, BusError, Memory
+from repro.soc.bus import Bus, BusAccess, BusError, BusTrace, Memory
 from repro.soc.derivatives import (
     CATALOGUE,
     Derivative,
@@ -61,6 +61,7 @@ __all__ = [
     "Bus",
     "BusAccess",
     "BusError",
+    "BusTrace",
     "CATALOGUE",
     "Derivative",
     "ES_ABI_V1",

@@ -5,8 +5,25 @@ models the two properties the execution platforms differ on:
 
 - **wait states** per device (the cycle-accurate "RTL" platform charges
   them; the functional golden model ignores them), and
-- an **access trace** hook used by functional coverage and by the
-  platforms with bus visibility.
+- an **access trace** used by functional coverage and by the platforms
+  with bus visibility.
+
+Routing is O(1): :meth:`Bus.attach` precomputes a page-granular dispatch
+table (page index → :class:`Mapping`) for every page a mapping fully
+covers, so the hot path is one shift and one dict probe.  Accesses that
+land on a page no mapping fully covers — partial pages of an unaligned
+test mapping, or straddles past a region end — fall back to a binary
+search over the sorted mapping list.  Mappings backed by a plain
+:class:`Memory` additionally expose their byte buffer to the bus, which
+reads/writes aligned words with :mod:`struct` directly instead of paying
+a method call plus a bytes-slice allocation per access.
+
+Tracing is allocation-free on the hot path: when a :class:`BusTrace`
+buffer is installed, each access appends one ``(kind, address, size,
+value)`` tuple; consumers drain the buffer lazily into
+:class:`BusAccess` views.  The legacy ``trace_hooks`` callback list is
+still honoured (each hook receives a :class:`BusAccess`), but costs an
+object per access and is kept for tests and ad-hoc probes.
 
 Unmapped or misaligned accesses raise :class:`BusError`; the CPU converts
 them into the architectural bus-error trap so a runaway test dies the
@@ -15,8 +32,23 @@ same way on every platform.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from struct import Struct
+from typing import Callable, Iterator, Protocol
+
+#: Dispatch-table granularity.  256-byte pages cover every real mapping
+#: exactly (memory regions are 64 KiB-aligned and SFR peripheral blocks
+#: are 0x100-sized at 0x100-aligned bases), while keeping the table a
+#: few thousand entries even for the 512 KiB ROM.
+PAGE_SHIFT = 8
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+_U32 = Struct("<I")
+#: Shared little-endian word codec — the bus, the Memory device and the
+#: core's inline accessors all read/write buffers through these.
+u32_unpack_from = _U32.unpack_from
+u32_pack_into = _U32.pack_into
 
 
 class BusError(Exception):
@@ -42,10 +74,21 @@ class Mapping:
     size: int
     device: BusDevice
     wait_states: int = 0
+    #: Derived routing state, filled in ``__post_init__``: the exclusive
+    #: end address, and — for plain :class:`Memory` devices — the raw
+    #: byte buffer the bus may read/write words from directly
+    #: (``word_wbuf`` stays ``None`` for read-only memories so writes
+    #: route through :meth:`Memory.write` and raise).
+    end: int = field(init=False, repr=False)
+    word_buf: bytearray | None = field(init=False, default=None, repr=False)
+    word_wbuf: bytearray | None = field(init=False, default=None, repr=False)
 
-    @property
-    def end(self) -> int:
-        return self.base + self.size
+    def __post_init__(self) -> None:
+        self.end = self.base + self.size
+        if type(self.device) is Memory:
+            self.word_buf = self.device.data
+            if not self.device.read_only:
+                self.word_wbuf = self.device.data
 
     def contains(self, address: int, length: int) -> bool:
         return self.base <= address and address + length <= self.end
@@ -61,12 +104,72 @@ class BusAccess:
     value: int
 
 
+class BusTrace:
+    """Flat ring buffer of bus events: ``(kind, address, size, value)``.
+
+    Recording appends one small tuple per access — no dataclass, no
+    ``__dict__`` — so a traced run stays close to untraced speed.
+    Consumers that want object views iterate the buffer, which yields
+    :class:`BusAccess` lazily; bulk consumers (coverage) read
+    :meth:`raw` and destructure tuples directly.
+
+    With a *capacity*, the buffer wraps: the oldest events are
+    overwritten and counted in :attr:`dropped`.  The default is
+    unbounded, which coverage and trace-equivalence checks rely on.
+    """
+
+    __slots__ = ("_events", "_capacity", "_head", "dropped")
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("BusTrace capacity must be positive")
+        self._events: list[tuple[str, int, int, int]] = []
+        self._capacity = capacity
+        self._head = 0
+        self.dropped = 0
+
+    def record(self, kind: str, address: int, size: int, value: int) -> None:
+        events = self._events
+        capacity = self._capacity
+        if capacity is None or len(events) < capacity:
+            events.append((kind, address, size, value))
+        else:
+            events[self._head] = (kind, address, size, value)
+            self._head = (self._head + 1) % capacity
+            self.dropped += 1
+
+    def raw(self) -> list[tuple[str, int, int, int]]:
+        """Events oldest-first as raw tuples.  When the buffer has not
+        wrapped this is the live list — treat it as read-only."""
+        head = self._head
+        if head:
+            return self._events[head:] + self._events[:head]
+        return self._events
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._head = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[BusAccess]:
+        for kind, address, size, value in self.raw():
+            yield BusAccess(kind, address, size, value)
+
+    def __getitem__(self, index):
+        raw = self.raw()[index]
+        if isinstance(index, slice):
+            return [BusAccess(*event) for event in raw]
+        return BusAccess(*raw)
+
+
 class Memory:
     """Plain byte-addressable memory device (RAM, ROM, NVM array)."""
 
     def __init__(self, size: int, read_only: bool = False, fill: int = 0x00):
-        self.data = bytearray([fill]) * 1  # placate type checkers
-        self.data = bytearray([fill] * size)
+        self.data: bytearray = bytearray([fill]) * size
         self.read_only = read_only
 
     def read(self, offset: int, size: int) -> int:
@@ -85,12 +188,16 @@ class Memory:
 
 
 class Bus:
-    """Single-master system bus with device decode and tracing."""
+    """Single-master system bus with O(1) device decode and tracing."""
 
     def __init__(self) -> None:
         self.mappings: list[Mapping] = []
         self.trace_hooks: list[Callable[[BusAccess], None]] = []
+        #: Allocation-free access recording; ``None`` when not tracing.
+        self.trace_buffer: BusTrace | None = None
         self.access_count = 0
+        self._bases: list[int] = []
+        self.page_table: dict[int, Mapping] = {}
 
     def attach(
         self,
@@ -101,29 +208,76 @@ class Bus:
         wait_states: int = 0,
     ) -> Mapping:
         mapping = Mapping(name, base, size, device, wait_states)
-        for existing in self.mappings:
-            if mapping.base < existing.end and existing.base < mapping.end:
-                raise ValueError(
-                    f"bus mapping {name!r} overlaps {existing.name!r}"
-                )
-        self.mappings.append(mapping)
-        self.mappings.sort(key=lambda m: m.base)
+        # The mapping list is kept sorted by base, so only the two
+        # neighbours of the insertion point can overlap.
+        index = bisect_right(self._bases, mapping.base)
+        if index and self.mappings[index - 1].end > mapping.base:
+            raise ValueError(
+                f"bus mapping {name!r} overlaps "
+                f"{self.mappings[index - 1].name!r}"
+            )
+        if index < len(self.mappings) and (
+            mapping.end > self.mappings[index].base
+        ):
+            raise ValueError(
+                f"bus mapping {name!r} overlaps {self.mappings[index].name!r}"
+            )
+        self.mappings.insert(index, mapping)
+        self._bases.insert(index, mapping.base)
+        self._index_mapping(mapping)
         return mapping
 
-    def mapping_for(self, address: int, length: int) -> Mapping:
+    def _index_mapping(self, mapping: Mapping) -> None:
+        """Add *mapping*'s fully covered pages to the dispatch table."""
+        first = (mapping.base + PAGE_SIZE - 1) >> PAGE_SHIFT
+        last = mapping.end >> PAGE_SHIFT
+        table = self.page_table
+        for page in range(first, last):
+            table[page] = mapping
+
+    def rebuild_dispatch(self) -> None:
+        """Recompute the page dispatch table from the mapping list
+        (device full reset; mappings whose buffers were swapped)."""
+        self.page_table.clear()
         for mapping in self.mappings:
-            if mapping.contains(address, length):
+            mapping.__post_init__()  # refresh end + word buffers
+            self._index_mapping(mapping)
+
+    def mapping_for(self, address: int, length: int) -> Mapping:
+        """The mapping containing ``[address, address+length)``.
+
+        Binary search over the sorted mapping list — the slow path
+        behind the page table, and the API for one-off queries."""
+        index = bisect_right(self._bases, address) - 1
+        if index >= 0:
+            mapping = self.mappings[index]
+            if address + length <= mapping.end:
                 return mapping
         raise BusError(f"unmapped address {address:#010x}", address)
 
     # -- access API -------------------------------------------------------
+    #
+    # An aligned 4-byte access can never cross a 256-byte page, so a
+    # page-table hit proves the whole word is inside the mapping — the
+    # word-specialised accessors need no end check.  The generic
+    # accessors keep one for exotic sizes.
+
     def read(self, address: int, size: int) -> tuple[int, int]:
         """Read *size* bytes; returns ``(value, wait_states)``."""
         if address % size:
             raise BusError(f"misaligned read at {address:#010x}", address)
-        mapping = self.mapping_for(address, size)
-        value = mapping.device.read(address - mapping.base, size)
+        mapping = self.page_table.get(address >> PAGE_SHIFT)
+        if mapping is None or address + size > mapping.end:
+            mapping = self.mapping_for(address, size)
+        buf = mapping.word_buf
+        if buf is not None and size == 4:
+            value = u32_unpack_from(buf, address - mapping.base)[0]
+        else:
+            value = mapping.device.read(address - mapping.base, size)
         self.access_count += 1
+        trace = self.trace_buffer
+        if trace is not None:
+            trace.record("read", address, size, value)
         if self.trace_hooks:
             access = BusAccess("read", address, size, value)
             for hook in self.trace_hooks:
@@ -134,21 +288,107 @@ class Bus:
         """Write *size* bytes; returns wait states charged."""
         if address % size:
             raise BusError(f"misaligned write at {address:#010x}", address)
-        mapping = self.mapping_for(address, size)
-        mapping.device.write(address - mapping.base, value, size)
+        mapping = self.page_table.get(address >> PAGE_SHIFT)
+        if mapping is None or address + size > mapping.end:
+            mapping = self.mapping_for(address, size)
+        buf = mapping.word_wbuf
+        if buf is not None and size == 4:
+            u32_pack_into(buf, address - mapping.base, value & 0xFFFF_FFFF)
+        else:
+            mapping.device.write(address - mapping.base, value, size)
         self.access_count += 1
+        trace = self.trace_buffer
+        if trace is not None:
+            trace.record("write", address, size, value)
         if self.trace_hooks:
             access = BusAccess("write", address, size, value)
             for hook in self.trace_hooks:
                 hook(access)
         return mapping.wait_states
 
+    # Word-specialised accessors for the CPU's hottest operations
+    # (fetch fallback, stack pushes/pops, word loads/stores).
+    def read_word(self, address: int) -> tuple[int, int]:
+        """:meth:`read` specialised for a 4-byte access."""
+        if address & 3:
+            raise BusError(f"misaligned read at {address:#010x}", address)
+        mapping = self.page_table.get(address >> PAGE_SHIFT)
+        if mapping is None:
+            mapping = self.mapping_for(address, 4)
+        buf = mapping.word_buf
+        if buf is not None:
+            value = u32_unpack_from(buf, address - mapping.base)[0]
+        else:
+            value = mapping.device.read(address - mapping.base, 4)
+        self.access_count += 1
+        trace = self.trace_buffer
+        if trace is not None:
+            trace.record("read", address, 4, value)
+        if self.trace_hooks:
+            access = BusAccess("read", address, 4, value)
+            for hook in self.trace_hooks:
+                hook(access)
+        return value, mapping.wait_states
+
+    def write_word(self, address: int, value: int) -> int:
+        """:meth:`write` specialised for a 4-byte access."""
+        if address & 3:
+            raise BusError(f"misaligned write at {address:#010x}", address)
+        mapping = self.page_table.get(address >> PAGE_SHIFT)
+        if mapping is None:
+            mapping = self.mapping_for(address, 4)
+        buf = mapping.word_wbuf
+        if buf is not None:
+            u32_pack_into(buf, address - mapping.base, value & 0xFFFF_FFFF)
+        else:
+            mapping.device.write(address - mapping.base, value, 4)
+        self.access_count += 1
+        trace = self.trace_buffer
+        if trace is not None:
+            trace.record("write", address, 4, value)
+        if self.trace_hooks:
+            access = BusAccess("write", address, 4, value)
+            for hook in self.trace_hooks:
+                hook(access)
+        return mapping.wait_states
+
+    def emit_fetches(
+        self, events: tuple[tuple[str, int, int, int], ...]
+    ) -> None:
+        """Replay predecoded instruction fetches into the trace.
+
+        The decode cache elides fetch bus reads; when someone is
+        watching the bus, the core calls this with the exact events a
+        real fetch would have produced, so traced runs see an identical
+        access stream with the cache on or off."""
+        self.access_count += len(events)
+        trace = self.trace_buffer
+        if trace is not None:
+            for event in events:
+                trace.record(*event)
+        if self.trace_hooks:
+            for event in events:
+                access = BusAccess(*event)
+                for hook in self.trace_hooks:
+                    hook(access)
+
     # Convenience word accessors used by platforms/debug ports; they do
-    # not charge wait states or fire trace hooks.
+    # not charge wait states, count accesses, or record trace events.
     def peek_word(self, address: int) -> int:
-        mapping = self.mapping_for(address, 4)
+        mapping = self.page_table.get(address >> PAGE_SHIFT)
+        if mapping is None or address + 4 > mapping.end:
+            mapping = self.mapping_for(address, 4)
+        buf = mapping.word_buf
+        if buf is not None:
+            return u32_unpack_from(buf, address - mapping.base)[0]
         return mapping.device.read(address - mapping.base, 4)
 
     def poke_word(self, address: int, value: int) -> None:
-        mapping = self.mapping_for(address, 4)
-        mapping.device.write(address - mapping.base, value, 4)
+        mapping = self.page_table.get(address >> PAGE_SHIFT)
+        if mapping is None or address + 4 > mapping.end:
+            mapping = self.mapping_for(address, 4)
+        buf = mapping.word_wbuf
+        if buf is not None:
+            u32_pack_into(buf, address - mapping.base, value & 0xFFFF_FFFF)
+        else:
+            mapping.device.write(address - mapping.base, value, 4)

@@ -144,6 +144,7 @@ class SystemOnChip:
         self.rom.load(0, bytes(self.memory_map.rom.size))
         self.nvm.array.load(0, bytes(len(self.nvm.array.data)))
         self.bus.access_count = 0
+        self.bus.rebuild_dispatch()
 
     def load_image(self, image: MemoryImage) -> None:
         """Backdoor-load a linked image into ROM/RAM/NVM."""
