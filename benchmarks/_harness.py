@@ -1,0 +1,67 @@
+"""Shared timing and JSON-emission plumbing for the benchmark scripts.
+
+Every ``bench_*`` module used to carry its own copy of the same three
+pieces: a best-of-N wall-clock helper, a module-level results dict, and
+the ``BENCH_<name>.json`` emission next to the repository root.  They
+live here once; CI uploads every ``BENCH_*.json`` as a single artifact
+so the perf trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+#: Benchmarks emit their JSON next to the repository root.
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def best_of(repeats: int, fn):
+    """Run *fn* *repeats* times; returns ``(best_elapsed_s, value)``
+    where *value* is the result of the best (fastest) run."""
+    best = None
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best, value = elapsed, result
+    return best, value
+
+
+def best_rate(repeats: int, fn):
+    """Run *fn* (which returns ``(rate, *extras)``) *repeats* times;
+    returns ``(best_rate, extras)`` from the highest-rate run."""
+    best = None
+    extras = None
+    for _ in range(repeats):
+        rate, *rest = fn()
+        if best is None or rate > best:
+            best, extras = rate, rest
+    return best, extras
+
+
+class BenchResults:
+    """Accumulates one benchmark module's numbers and emits the JSON.
+
+    Behaves like a dict (the benches fill sections test by test); the
+    final test of the module calls :meth:`emit`.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.path = REPO_ROOT / f"BENCH_{name}.json"
+        self.data: dict = {}
+
+    def __setitem__(self, key: str, value) -> None:
+        self.data[key] = value
+
+    def __getitem__(self, key: str):
+        return self.data[key]
+
+    def emit(self) -> Path:
+        """Write ``BENCH_<name>.json``; returns the path."""
+        self.path.write_text(json.dumps(self.data, indent=2) + "\n")
+        return self.path

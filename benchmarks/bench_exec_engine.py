@@ -14,8 +14,6 @@ Records the two numbers ISSUE 1 ties the engine to:
 
 from __future__ import annotations
 
-import time
-
 from repro.assembler.assembler import Assembler
 from repro.assembler.linker import Linker
 from repro.core.regression import RegressionReport, detect_divergences
@@ -27,8 +25,11 @@ from repro.soc.derivatives import SC88A
 from repro.soc.device import PASS_MAGIC
 
 from conftest import shape
+from _harness import BenchResults, best_of
 
 MEMORY_MAP = SC88A.memory_map()
+
+RESULTS = BenchResults("exec_engine")
 
 LOOP_ITERATIONS = 30_000
 
@@ -75,17 +76,6 @@ def statuses(report: RegressionReport):
     return {key: result.status for key, result in report.results.items()}
 
 
-def best_of(repeats: int, fn):
-    best = None
-    value = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        value = fn()
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
-    return best, value
-
-
 def test_predecode_instruction_throughput():
     image = link_source(HOT_LOOP_SOURCE)
 
@@ -101,6 +91,11 @@ def test_predecode_instruction_throughput():
     assert cached.cycles == legacy.cycles
     legacy_ips = legacy.instructions / legacy_time
     cached_ips = cached.instructions / cached_time
+    RESULTS["predecode_throughput"] = {
+        "legacy_ips": round(legacy_ips),
+        "cached_ips": round(cached_ips),
+        "speedup": round(cached_ips / legacy_ips, 2),
+    }
     shape(
         "exec engine: interpreter throughput "
         f"{legacy_ips:,.0f} -> {cached_ips:,.0f} instr/sec "
@@ -126,6 +121,12 @@ def test_system_regression_matrix_speedup():
     assert statuses(engine_report) == statuses(baseline_report)
     assert engine_report.clean
     speedup = baseline_time / engine_time
+    RESULTS["matrix"] = {
+        "runs": engine_report.total_runs,
+        "baseline_s": round(baseline_time, 3),
+        "engine_s": round(engine_time, 3),
+        "speedup": round(speedup, 2),
+    }
     shape(
         "exec engine: full six-platform matrix "
         f"({engine_report.total_runs} runs) "
@@ -153,7 +154,15 @@ def test_warm_cache_reregression_executes_nothing(tmp_path):
     assert warm.cached_runs == warm.total_runs
     assert statuses(warm) == statuses(cold)
     assert warm.divergences == cold.divergences == []
+    RESULTS["warm_reregression"] = {
+        "total_runs": warm.total_runs,
+        "executed_runs": warm.executed_runs,
+        "warm_s": round(warm_time, 3),
+    }
     shape(
         "exec engine: warm-cache re-regression of an unchanged workspace "
         f"executed 0 of {warm.total_runs} runs in {warm_time:.2f}s"
     )
+
+    path = RESULTS.emit()
+    shape(f"exec engine: wrote {path.name}")

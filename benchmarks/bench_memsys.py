@@ -23,9 +23,7 @@ trajectory is tracked across PRs.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 from repro.assembler.assembler import Assembler
 from repro.assembler.linker import Linker
@@ -47,14 +45,13 @@ from repro.soc.derivatives import SC88A
 from repro.soc.device import FAIL_MAGIC, PASS_MAGIC, SystemOnChip
 
 from conftest import shape
+from _harness import BenchResults, best_rate
 
 MEMORY_MAP = SC88A.memory_map()
 REGISTER_MAP = SC88A.register_map()
 
 LOOP_ITERATIONS = 12_000
 MAX_STEPS = 2_000_000
-
-JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_memsys.json"
 
 #: Memory-heavy loop: eight data-bus accesses and one SFR write per
 #: iteration, so routing and tracing costs dominate over ALU work.
@@ -78,7 +75,7 @@ loop:
     HALT
 """
 
-RESULTS: dict = {}
+RESULTS = BenchResults("memsys")
 
 
 def link_source(source: str):
@@ -191,22 +188,12 @@ def timed_interpreter_run(image, *, legacy: bool, traced: bool):
     return ips, cpu, ring, collector
 
 
-def best_ips(repeats, fn):
-    best = None
-    extras = None
-    for _ in range(repeats):
-        ips, *rest = fn()
-        if best is None or ips > best:
-            best, extras = ips, rest
-    return best, extras
-
-
 def test_untraced_dispatch_speedup():
     image = link_source(WORKLOAD_SOURCE)
-    legacy_ips, _ = best_ips(
+    legacy_ips, _ = best_rate(
         3, lambda: timed_interpreter_run(image, legacy=True, traced=False)
     )
-    fast_ips, _ = best_ips(
+    fast_ips, _ = best_rate(
         3, lambda: timed_interpreter_run(image, legacy=False, traced=False)
     )
     speedup = fast_ips / legacy_ips
@@ -227,10 +214,10 @@ def test_untraced_dispatch_speedup():
 
 def test_traced_coverage_run_speedup():
     image = link_source(WORKLOAD_SOURCE)
-    legacy_ips, (legacy_cpu, _, legacy_cov) = best_ips(
+    legacy_ips, (legacy_cpu, _, legacy_cov) = best_rate(
         2, lambda: timed_interpreter_run(image, legacy=True, traced=True)
     )
-    fast_ips, (fast_cpu, ring, fast_cov) = best_ips(
+    fast_ips, (fast_cpu, ring, fast_cov) = best_rate(
         2, lambda: timed_interpreter_run(image, legacy=False, traced=True)
     )
     speedup = fast_ips / legacy_ips
@@ -356,5 +343,5 @@ def test_session_coverage_wall_time_and_emit_json():
         f"({legacy_s / fast_s:.1f}x)"
     )
 
-    JSON_PATH.write_text(json.dumps(RESULTS, indent=2) + "\n")
-    shape(f"memsys: wrote {JSON_PATH.name}")
+    path = RESULTS.emit()
+    shape(f"memsys: wrote {path.name}")

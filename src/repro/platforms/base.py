@@ -110,6 +110,12 @@ class Platform(ABC):
     #: stays enabled while a bus trace is recorded — the core replays
     #: the elided instruction-fetch events into the trace.
     use_decode_cache: bool = True
+    #: When True, the session drives the core in blocks bounded by the
+    #: SoC's peripheral event horizon (:meth:`CpuCore.run` +
+    #: :meth:`SystemOnChip.flush_ticks`) instead of the per-step
+    #: step/tick loop.  Both paths retire byte-identical results; the
+    #: per-step loop is kept as the reference baseline.
+    use_block_run: bool = True
 
     last_soc: SystemOnChip | None = None
     last_cpu: CpuCore | None = None

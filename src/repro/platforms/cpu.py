@@ -25,6 +25,7 @@ from typing import Callable
 from repro.isa.decodecache import (
     BASE_CYCLES,
     DecodeCache,
+    MEM_LAST_WORD_KIND,
     MEM_LD_W,
     MEM_LDABS_A,
     MEM_LDABS_D,
@@ -47,6 +48,8 @@ from repro.soc.bus import (
     Bus,
     BusError,
     PAGE_SHIFT,
+    u16_pack_into as _u16_pack_into,
+    u16_unpack_from as _u16_unpack_from,
     u32_pack_into as _u32_pack_into,
     u32_unpack_from as _u32_unpack_from,
 )
@@ -151,6 +154,17 @@ class CpuCore:
         #: RAM execution and self-modifying code miss it and take the
         #: legacy per-step decode path below.
         self.decode_cache: DecodeCache | None = None
+        #: When True (the default), cached entries execute through the
+        #: per-opcode executor table bound at decode time
+        #: (``entry.exec(self, entry)`` — computed-goto-style dispatch).
+        #: When False, cached entries run the pre-dispatch paths (the
+        #: inline word micro-op branch plus the ``_execute`` chain),
+        #: which benchmarks use as the pre-PR baseline.
+        self.use_exec_table = True
+        #: Cycle deadline of the current :meth:`run` block; peripheral
+        #: scheduling shortens it via :meth:`cut_block` when an SFR
+        #: write may have moved the next event horizon.
+        self._block_deadline: int | None = None
 
     # -- lifecycle ---------------------------------------------------------
     def reset(self, entry: int, stack_pointer: int) -> None:
@@ -247,6 +261,81 @@ class CpuCore:
         if self.charge_wait_states:
             self._pending_waits += waits
 
+    # Halfword/byte flavours for the LD.H/LD.B/ST.H/ST.B micro-ops.
+    # An aligned halfword (or any byte) can never straddle a 256-byte
+    # page, so a page-table hit proves the access is inside the
+    # mapping's buffer.  Loads zero-extend, stores truncate — matching
+    # the bus's generic sized access exactly.
+    def _read_half_fast(self, address: int) -> int:
+        bus = self.bus
+        if (
+            bus.trace_buffer is None
+            and not bus.trace_hooks
+            and not address & 1
+        ):
+            mapping = bus.page_table.get(address >> PAGE_SHIFT)
+            if mapping is not None and mapping.word_buf is not None:
+                bus.access_count += 1
+                if self.charge_wait_states:
+                    self._pending_waits += mapping.wait_states
+                return _u16_unpack_from(
+                    mapping.word_buf, address - mapping.base
+                )[0]
+        value, waits = bus.read(address, 2)
+        if self.charge_wait_states:
+            self._pending_waits += waits
+        return value
+
+    def _write_half_fast(self, address: int, value: int) -> None:
+        bus = self.bus
+        if (
+            bus.trace_buffer is None
+            and not bus.trace_hooks
+            and not address & 1
+        ):
+            mapping = bus.page_table.get(address >> PAGE_SHIFT)
+            if mapping is not None and mapping.word_wbuf is not None:
+                bus.access_count += 1
+                if self.charge_wait_states:
+                    self._pending_waits += mapping.wait_states
+                _u16_pack_into(
+                    mapping.word_wbuf,
+                    address - mapping.base,
+                    value & 0xFFFF,
+                )
+                return
+        waits = bus.write(address, value, 2)
+        if self.charge_wait_states:
+            self._pending_waits += waits
+
+    def _read_byte_fast(self, address: int) -> int:
+        bus = self.bus
+        if bus.trace_buffer is None and not bus.trace_hooks:
+            mapping = bus.page_table.get(address >> PAGE_SHIFT)
+            if mapping is not None and mapping.word_buf is not None:
+                bus.access_count += 1
+                if self.charge_wait_states:
+                    self._pending_waits += mapping.wait_states
+                return mapping.word_buf[address - mapping.base]
+        value, waits = bus.read(address, 1)
+        if self.charge_wait_states:
+            self._pending_waits += waits
+        return value
+
+    def _write_byte_fast(self, address: int, value: int) -> None:
+        bus = self.bus
+        if bus.trace_buffer is None and not bus.trace_hooks:
+            mapping = bus.page_table.get(address >> PAGE_SHIFT)
+            if mapping is not None and mapping.word_wbuf is not None:
+                bus.access_count += 1
+                if self.charge_wait_states:
+                    self._pending_waits += mapping.wait_states
+                mapping.word_wbuf[address - mapping.base] = value & 0xFF
+                return
+        waits = bus.write(address, value, 1)
+        if self.charge_wait_states:
+            self._pending_waits += waits
+
     # -- traps / interrupts --------------------------------------------------
     def take_trap(self, number: int, return_pc: int) -> None:
         if not 0 <= number < VECTOR_COUNT:
@@ -295,114 +384,39 @@ class CpuCore:
             if self.decode_cache is not None
             else None
         )
-        if entry is not None:
-            # Predecoded fast path: fetch, decode and base-cycle lookup
-            # were done once for this address; charge the wait states a
-            # real fetch would have cost so timing stays identical, and
-            # replay the fetch bus events when someone is watching the
-            # bus so traced runs observe the same access stream.
-            if self.charge_wait_states:
-                self._pending_waits += entry.fetch_waits
-            bus = self.bus
-            if bus.trace_buffer is not None or bus.trace_hooks:
-                bus.emit_fetches(entry.fetch_events)
-            opcode = entry.opcode
-            op = entry.op
-            fields = entry.fields
-            literal = entry.literal
-            next_pc = pc + entry.size_bytes
-            mnemonic = entry.mnemonic
-            base_cycles = entry.base_cycles
-            mem_kind = entry.mem_kind
-        else:
-            mem_kind = 0
-            # Legacy path: bus fetch + per-step decode.  Kept for RAM
-            # execution, self-modifying code and fault/trap cases.
-            try:
-                word = self._read(pc, 4)
-            except BusError:
-                self.take_trap(TRAP_BUS_ERROR, pc)
-                self.cycles += 2
-                return self.cycles - start_cycles
+        if entry is None:
+            # Legacy path: bus fetch + per-step decode + if/elif chain.
+            # Kept for RAM execution, self-modifying code and fault/trap
+            # cases.
+            return self._step_uncached(pc, start_cycles)
 
-            opcode = opcode_of(word)
-            try:
-                spec = lookup_opcode(opcode)
-            except KeyError:
-                self.take_trap(TRAP_ILLEGAL_OPCODE, pc + 4)
-                self.cycles += 2
-                return self.cycles - start_cycles
-
-            literal = None
-            if spec.fmt.has_literal:
-                try:
-                    literal = self._read(pc + 4, 4)
-                except BusError:
-                    # Truncated two-word instruction at the end of
-                    # mapped memory: same architectural outcome as a
-                    # failed opcode-word fetch.
-                    self.take_trap(TRAP_BUS_ERROR, pc)
-                    self.cycles += 2
-                    return self.cycles - start_cycles
-            next_pc = pc + spec.size_bytes
-            fields = decode_word(spec.fmt, word)
-            op = Opcode(opcode)
-            mnemonic = spec.mnemonic
-            base_cycles = _BASE_CYCLES[opcode]
-
+        # Predecoded fast path: fetch, decode and base-cycle lookup
+        # were done once for this address; charge the wait states a
+        # real fetch would have cost so timing stays identical, and
+        # replay the fetch bus events when someone is watching the
+        # bus so traced runs observe the same access stream.
+        if self.charge_wait_states:
+            self._pending_waits += entry.fetch_waits
+        bus = self.bus
+        if bus.trace_buffer is not None or bus.trace_hooks:
+            bus.emit_fetches(entry.fetch_events)
+        next_pc = entry.next_pc
         try:
-            if mem_kind:
-                # Predecoded word-memory micro-op: operands were
-                # precomputed at decode time and none of these opcodes
-                # touch the PSW or the ALU-fault hook, so execution is
-                # register moves plus one direct word access.
-                regs = self.regs
-                regs.pc = next_pc
-                r1 = entry.mem_r1
-                if mem_kind == MEM_LD_W:
-                    regs.data[r1] = self._read_word_fast(
-                        (regs.address[entry.mem_r2] + entry.mem_disp)
-                        & WORD_MASK
-                    )
-                elif mem_kind == MEM_ST_W:
-                    self._write_word_fast(
-                        (regs.address[entry.mem_r2] + entry.mem_disp)
-                        & WORD_MASK,
-                        regs.data[r1],
-                    )
-                elif mem_kind == MEM_PUSH_D:
-                    sp = (regs.address[STACK_POINTER_INDEX] - 4) & WORD_MASK
-                    regs.address[STACK_POINTER_INDEX] = sp
-                    self._write_word_fast(sp, regs.data[r1])
-                elif mem_kind == MEM_POP_D:
-                    regs.data[r1] = self._read_word_fast(
-                        regs.address[STACK_POINTER_INDEX]
-                    )
-                    regs.address[STACK_POINTER_INDEX] = (
-                        regs.address[STACK_POINTER_INDEX] + 4
-                    ) & WORD_MASK
-                elif mem_kind == MEM_PUSH_A:
-                    value = regs.address[r1]  # before sp update (PUSH sp)
-                    sp = (regs.address[STACK_POINTER_INDEX] - 4) & WORD_MASK
-                    regs.address[STACK_POINTER_INDEX] = sp
-                    self._write_word_fast(sp, value)
-                elif mem_kind == MEM_POP_A:
-                    value = self._read_word_fast(regs.address[STACK_POINTER_INDEX])
-                    regs.address[STACK_POINTER_INDEX] = (
-                        regs.address[STACK_POINTER_INDEX] + 4
-                    ) & WORD_MASK
-                    regs.address[r1] = value
-                elif mem_kind == MEM_LDABS_D:
-                    regs.data[r1] = self._read_word_fast(entry.mem_disp)
-                elif mem_kind == MEM_LDABS_A:
-                    regs.address[r1] = self._read_word_fast(entry.mem_disp)
-                elif mem_kind == MEM_STABS_D:
-                    self._write_word_fast(entry.mem_disp, regs.data[r1])
-                else:  # MEM_STABS_A
-                    self._write_word_fast(entry.mem_disp, regs.address[r1])
-                taken = False
+            if self.use_exec_table and (
+                self.alu_fault_hook is None or entry.mem_kind
+            ):
+                # Table dispatch: one indirect call to the per-opcode
+                # executor bound at decode time.  Memory micro-ops
+                # never touch the fault hook, so they stay on the
+                # table even under fault injection; everything else
+                # drops to the reference chain when a hook is armed.
+                taken = entry.exec(self, entry)
+            elif entry.mem_kind and entry.mem_kind <= MEM_LAST_WORD_KIND:
+                taken = self._exec_mem_inline(entry, next_pc)
             else:
-                taken = self._execute(op, fields, literal, next_pc)
+                taken = self._execute(
+                    entry.op, entry.fields, entry.literal, next_pc
+                )
         except BusError:
             # Convert data-access failures into the architectural trap.
             self.take_trap(TRAP_BUS_ERROR, next_pc)
@@ -411,13 +425,202 @@ class CpuCore:
             return self.cycles - start_cycles
 
         self.instructions_retired += 1
-        cost = base_cycles + self._pending_waits
+        cost = entry.base_cycles + self._pending_waits
         if taken:
             cost += _JUMP_TAKEN_EXTRA
         self.cycles += cost
 
         if self.trace is not None:
-            self.trace.record(pc, opcode, mnemonic, cost)
+            self.trace.record(pc, entry.opcode, entry.mnemonic, cost)
+        return self.cycles - start_cycles
+
+    def _step_uncached(self, pc: int, start_cycles: int) -> int:
+        """Fetch/decode through the bus and execute via the reference
+        chain — the pre-predecode interpreter, kept for cache misses."""
+        try:
+            word = self._read(pc, 4)
+        except BusError:
+            self.take_trap(TRAP_BUS_ERROR, pc)
+            self.cycles += 2
+            return self.cycles - start_cycles
+
+        opcode = opcode_of(word)
+        try:
+            spec = lookup_opcode(opcode)
+        except KeyError:
+            self.take_trap(TRAP_ILLEGAL_OPCODE, pc + 4)
+            self.cycles += 2
+            return self.cycles - start_cycles
+
+        literal = None
+        if spec.fmt.has_literal:
+            try:
+                literal = self._read(pc + 4, 4)
+            except BusError:
+                # Truncated two-word instruction at the end of
+                # mapped memory: same architectural outcome as a
+                # failed opcode-word fetch.
+                self.take_trap(TRAP_BUS_ERROR, pc)
+                self.cycles += 2
+                return self.cycles - start_cycles
+        next_pc = pc + spec.size_bytes
+        fields = decode_word(spec.fmt, word)
+
+        try:
+            taken = self._execute(Opcode(opcode), fields, literal, next_pc)
+        except BusError:
+            self.take_trap(TRAP_BUS_ERROR, next_pc)
+            self.cycles += 2
+            self.instructions_retired += 1
+            return self.cycles - start_cycles
+
+        self.instructions_retired += 1
+        cost = _BASE_CYCLES[opcode] + self._pending_waits
+        if taken:
+            cost += _JUMP_TAKEN_EXTRA
+        self.cycles += cost
+
+        if self.trace is not None:
+            self.trace.record(pc, opcode, spec.mnemonic, cost)
+        return self.cycles - start_cycles
+
+    def _exec_mem_inline(self, entry, next_pc: int) -> bool:
+        """Pre-dispatch execution of the word-memory micro-ops: the
+        inline branch the executor table replaced, kept verbatim as the
+        ``use_exec_table=False`` baseline."""
+        mem_kind = entry.mem_kind
+        regs = self.regs
+        regs.pc = next_pc
+        r1 = entry.r1
+        if mem_kind == MEM_LD_W:
+            regs.data[r1] = self._read_word_fast(
+                (regs.address[entry.r2] + entry.mem_disp) & WORD_MASK
+            )
+        elif mem_kind == MEM_ST_W:
+            self._write_word_fast(
+                (regs.address[entry.r2] + entry.mem_disp) & WORD_MASK,
+                regs.data[r1],
+            )
+        elif mem_kind == MEM_PUSH_D:
+            sp = (regs.address[STACK_POINTER_INDEX] - 4) & WORD_MASK
+            regs.address[STACK_POINTER_INDEX] = sp
+            self._write_word_fast(sp, regs.data[r1])
+        elif mem_kind == MEM_POP_D:
+            regs.data[r1] = self._read_word_fast(
+                regs.address[STACK_POINTER_INDEX]
+            )
+            regs.address[STACK_POINTER_INDEX] = (
+                regs.address[STACK_POINTER_INDEX] + 4
+            ) & WORD_MASK
+        elif mem_kind == MEM_PUSH_A:
+            value = regs.address[r1]  # before sp update (PUSH sp)
+            sp = (regs.address[STACK_POINTER_INDEX] - 4) & WORD_MASK
+            regs.address[STACK_POINTER_INDEX] = sp
+            self._write_word_fast(sp, value)
+        elif mem_kind == MEM_POP_A:
+            value = self._read_word_fast(regs.address[STACK_POINTER_INDEX])
+            regs.address[STACK_POINTER_INDEX] = (
+                regs.address[STACK_POINTER_INDEX] + 4
+            ) & WORD_MASK
+            regs.address[r1] = value
+        elif mem_kind == MEM_LDABS_D:
+            regs.data[r1] = self._read_word_fast(entry.mem_disp)
+        elif mem_kind == MEM_LDABS_A:
+            regs.address[r1] = self._read_word_fast(entry.mem_disp)
+        elif mem_kind == MEM_STABS_D:
+            self._write_word_fast(entry.mem_disp, regs.data[r1])
+        else:  # MEM_STABS_A
+            self._write_word_fast(entry.mem_disp, regs.address[r1])
+        return False
+
+    # -- block execution ------------------------------------------------------
+    def cut_block(self) -> None:
+        """End the current :meth:`run` block after the instruction in
+        flight (peripheral scheduling calls this when an SFR write may
+        have moved the next event horizon)."""
+        self._block_deadline = self.cycles
+
+    def run(
+        self,
+        cycle_budget: int | None = None,
+        instruction_limit: int | None = None,
+    ) -> int:
+        """Execute a block of instructions; returns cycles consumed.
+
+        Stops at HALT, when *instruction_limit* (an absolute
+        ``instructions_retired`` ceiling) is reached, or — checked after
+        each retired instruction, exactly where the per-step loop
+        ticked peripherals — once *cycle_budget* cycles have been
+        consumed or :meth:`cut_block` fired.  The per-step invariants
+        (trace active, wait-state charging, bus observation, cache
+        attached, fault hook) are hoisted out of the per-instruction
+        path: when none applies, the loop is interrupt-check, cache
+        probe and one executor call per instruction.
+        """
+        if self.halted:
+            return 0
+        start_cycles = self.cycles
+        self._block_deadline = (
+            None if cycle_budget is None else start_cycles + cycle_budget
+        )
+        limit = instruction_limit
+        cache = self.decode_cache
+        bus = self.bus
+        hoistable = (
+            cache is not None
+            and self.use_exec_table
+            and self.alu_fault_hook is None
+            and self.trace is None
+            and not self.charge_wait_states
+            and bus.trace_buffer is None
+            and not bus.trace_hooks
+        )
+        if not hoistable:
+            while not self.halted:
+                if limit is not None and self.instructions_retired >= limit:
+                    break
+                self.step()
+                deadline = self._block_deadline
+                if deadline is not None and self.cycles >= deadline:
+                    break
+            return self.cycles - start_cycles
+
+        # Hoisted hot loop: every iteration is at most an interrupt
+        # probe, a cache probe and one executor call.
+        self._pending_waits = 0
+        regs = self.regs
+        psw = regs.psw
+        intc = self.intc
+        get = cache.get
+        while not self.halted:
+            if limit is not None and self.instructions_retired >= limit:
+                break
+            if intc is not None and psw.interrupt_enable:
+                self._check_interrupts()
+            entry = get(regs.pc)
+            if entry is None:
+                # RAM execution / trap-prone address: one reference
+                # step (interrupts were already serviced above; the
+                # re-check inside is a no-op because trap entry clears
+                # the interrupt-enable bit).
+                self._step_uncached(regs.pc, self.cycles)
+            else:
+                try:
+                    taken = entry.exec(self, entry)
+                except BusError:
+                    self.take_trap(TRAP_BUS_ERROR, entry.next_pc)
+                    self.cycles += 2
+                    self.instructions_retired += 1
+                else:
+                    self.instructions_retired += 1
+                    self.cycles += (
+                        entry.base_cycles + _JUMP_TAKEN_EXTRA
+                        if taken
+                        else entry.base_cycles
+                    )
+            deadline = self._block_deadline
+            if deadline is not None and self.cycles >= deadline:
+                break
         return self.cycles - start_cycles
 
     # -- execution ---------------------------------------------------------

@@ -17,6 +17,20 @@ long-lived device:
 - ``observe``: the platform's ``judge``/``collect`` hooks derive the
   verdict from whatever that platform can legitimately see.
 
+The run phase drives the core in **blocks bounded by the SoC's
+peripheral event horizon**: instead of ticking every peripheral after
+every retired instruction, the SoC reports the cycle distance to the
+next observable peripheral event (timer underflow, watchdog expiry,
+NVM completion, level-sensitive interrupt re-raise), the core executes
+up to that many cycles in one :meth:`CpuCore.run` block with the
+per-step invariant checks hoisted out of the inner loop, and the
+deferred peripheral time is settled in one linear ``tick`` at the
+boundary.  Peripheral register accesses and SoC probes settle the debt
+early (and SFR writes end the current block so a moved horizon is
+picked up), which makes batched and per-step driving byte-identical —
+the legacy step/tick loop survives behind ``use_block_run=False`` as
+the reference baseline.
+
 ``Platform.run`` now delegates to a throwaway session, so its
 fresh-device-per-call semantics (``last_soc``/``last_cpu`` inspection)
 are unchanged; the :class:`~repro.core.scheduler.RegressionScheduler`
@@ -40,6 +54,7 @@ class ExecutionSession:
         platform,
         derivative: Derivative,
         use_decode_cache: bool | None = None,
+        use_block_run: bool | None = None,
     ):
         self.platform = platform
         self.derivative = derivative
@@ -54,6 +69,11 @@ class ExecutionSession:
             platform.use_decode_cache
             if use_decode_cache is None
             else use_decode_cache
+        )
+        self.use_block_run = (
+            getattr(platform, "use_block_run", True)
+            if use_block_run is None
+            else use_block_run
         )
         self.runs_completed = 0
 
@@ -105,17 +125,37 @@ class ExecutionSession:
 
         # -- run -----------------------------------------------------------
         fault_reason: str | None = None
+        use_block = self.use_block_run
+        if use_block:
+            soc.attach_cpu(cpu)
         try:
-            while not cpu.halted:
-                if cpu.instructions_retired >= max_instructions:
-                    break
-                consumed = cpu.step()
-                soc.tick(max(consumed, 1))
-                if soc.watchdog_expired:
-                    break
+            if use_block:
+                # Event-horizon loop: run the core in blocks bounded by
+                # the next observable peripheral event, then settle the
+                # deferred peripheral time in one linear tick.  An SFR
+                # write that moves the horizon ends the block early.
+                while not cpu.halted and (
+                    cpu.instructions_retired < max_instructions
+                ):
+                    cpu.run(soc.run_budget(), max_instructions)
+                    soc.flush_ticks()
+                    if soc.wdt.expired:
+                        break
+            else:
+                # Reference per-step loop: one instruction, one walk of
+                # every peripheral.
+                while not cpu.halted:
+                    if cpu.instructions_retired >= max_instructions:
+                        break
+                    consumed = cpu.step()
+                    soc.tick(max(consumed, 1))
+                    if soc.watchdog_expired:
+                        break
         except CpuFault as fault:
             fault_reason = str(fault)
         finally:
+            if use_block:
+                soc.detach_cpu()
             if bus_trace is not None:
                 soc.bus.trace_buffer = None
         self.runs_completed += 1

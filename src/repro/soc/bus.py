@@ -45,10 +45,14 @@ PAGE_SHIFT = 8
 PAGE_SIZE = 1 << PAGE_SHIFT
 
 _U32 = Struct("<I")
-#: Shared little-endian word codec — the bus, the Memory device and the
-#: core's inline accessors all read/write buffers through these.
+_U16 = Struct("<H")
+#: Shared little-endian word/halfword codecs — the bus, the Memory
+#: device and the core's inline accessors all read/write buffers
+#: through these.
 u32_unpack_from = _U32.unpack_from
 u32_pack_into = _U32.pack_into
+u16_unpack_from = _U16.unpack_from
+u16_pack_into = _U16.pack_into
 
 
 class BusError(Exception):

@@ -46,6 +46,38 @@ class IrqLine:
     device: object  # Peripheral with an ``irq`` attribute
 
 
+class SfrPort:
+    """Bus port wrapping one peripheral register block.
+
+    Under event-horizon scheduling the SoC defers peripheral ticking
+    until the next observable event; this port settles the pending
+    cycle debt *before* any register access, so software (and probes)
+    never observe stale peripheral state.  Writes additionally end the
+    core's current block-run: a store may reconfigure the peripheral
+    (enable a timer, start an NVM operation) and move the event
+    horizon, which the scheduler must recompute before running on.
+
+    When no core is bound (legacy per-tick driving, direct SoC use)
+    both hooks are no-ops and the port is a transparent pass-through.
+    """
+
+    __slots__ = ("soc", "peripheral")
+
+    def __init__(self, soc: "SystemOnChip", peripheral):
+        self.soc = soc
+        self.peripheral = peripheral
+
+    def read(self, offset: int, size: int) -> int:
+        self.soc.flush_ticks()
+        return self.peripheral.read(offset, size)
+
+    def write(self, offset: int, value: int, size: int) -> None:
+        soc = self.soc
+        soc.flush_ticks()
+        self.peripheral.write(offset, value, size)
+        soc.horizon_changed()
+
+
 class SystemOnChip:
     """One SC88 device instance for a given derivative."""
 
@@ -106,7 +138,7 @@ class SystemOnChip:
                 instance_name.lower(),
                 instance.base,
                 instance.layout.size,
-                device,
+                SfrPort(self, device),
                 SFR_WAIT_STATES,
             )
 
@@ -117,6 +149,15 @@ class SystemOnChip:
             IrqLine(LINE_GPIO, self.gpio),
             IrqLine(LINE_WDT, self.wdt),
         ]
+
+        #: Event-horizon scheduling state: the bound core whose cycle
+        #: counter peripheral time follows (None = legacy per-tick
+        #: driving), the cycle count peripherals have been ticked
+        #: through, and the cycles-after-that of the next observable
+        #: peripheral event (None = no event pending).
+        self._cpu = None
+        self._ticked_cycles = 0
+        self._horizon: int | None = None
 
     # -- lifecycle ------------------------------------------------------------
     def reset(self) -> None:
@@ -145,6 +186,9 @@ class SystemOnChip:
         self.nvm.array.load(0, bytes(len(self.nvm.array.data)))
         self.bus.access_count = 0
         self.bus.rebuild_dispatch()
+        self._cpu = None
+        self._ticked_cycles = 0
+        self._horizon = None
 
     def load_image(self, image: MemoryImage) -> None:
         """Backdoor-load a linked image into ROM/RAM/NVM."""
@@ -176,20 +220,100 @@ class SystemOnChip:
                 self.intc.raise_line(irq_line.line)
                 irq_line.device.irq = False
 
+    # -- event-horizon scheduling ---------------------------------------------
+    #
+    # Per-instruction peripheral ticking walks every peripheral on every
+    # retire even though almost all ticks change nothing observable.
+    # With a core bound, the SoC instead *defers* ticking: peripherals
+    # report the cycle distance to their next observable event (timer
+    # underflow, watchdog expiry, level-sensitive interrupt re-raise,
+    # NVM completion), the session runs the core in blocks bounded by
+    # that horizon, and the accumulated cycle debt is settled in one
+    # linear ``tick`` at the boundary.  Every peripheral ``tick``
+    # implementation is linear in the sense ``tick(a); tick(b)`` ==
+    # ``tick(a + b)`` between observable events, so batched and
+    # per-instruction ticking retire byte-identical state; the SFR
+    # ports and the probes below settle the debt before any read, so
+    # observed register state is never stale.
+
+    def attach_cpu(self, cpu) -> None:
+        """Bind *cpu* as the cycle source for deferred ticking; the
+        caller must have reset the core first."""
+        self._cpu = cpu
+        self._ticked_cycles = cpu.cycles
+        self._horizon = self._compute_horizon()
+
+    def detach_cpu(self) -> None:
+        """Return to legacy per-tick driving (flushing any debt)."""
+        self.flush_ticks()
+        self._cpu = None
+
+    def flush_ticks(self) -> None:
+        """Settle deferred peripheral time up to the bound core's
+        current cycle count, then recompute the event horizon."""
+        cpu = self._cpu
+        if cpu is None:
+            return
+        debt = cpu.cycles - self._ticked_cycles
+        if debt > 0:
+            self._ticked_cycles += debt
+            self.tick(debt)
+        self._horizon = self._compute_horizon()
+
+    def horizon_changed(self) -> None:
+        """Recompute the event horizon after a peripheral register
+        write and end the core's current block so the session picks up
+        the new bound (a store may have armed a nearer event)."""
+        cpu = self._cpu
+        if cpu is None:
+            return
+        self._horizon = self._compute_horizon()
+        cpu.cut_block()
+
+    def run_budget(self) -> int | None:
+        """Cycles the bound core may execute before peripheral time
+        must be settled; ``None`` when no observable event is pending."""
+        horizon = self._horizon
+        if horizon is None:
+            return None
+        debt = self._cpu.cycles - self._ticked_cycles
+        remaining = horizon - debt
+        return remaining if remaining > 0 else 1
+
+    def _compute_horizon(self) -> int | None:
+        horizon: int | None = None
+        for irq_line in self.irq_lines:
+            distance = irq_line.device.event_horizon()
+            if distance is not None and (
+                horizon is None or distance < horizon
+            ):
+                horizon = distance
+        return horizon
+
     # -- probes -------------------------------------------------------------
+    #
+    # Every probe settles pending peripheral time first, so state
+    # observed mid-run (watchdog polling, interleaved host checks) is
+    # never stale under deferred ticking.
+
     def result_word(self) -> int:
         """The test-result signature word in RAM."""
+        self.flush_ticks()
         return self.bus.peek_word(self.memory_map.result_address)
 
     def done_pin(self) -> int:
+        self.flush_ticks()
         return self.gpio.pin(DONE_PIN)
 
     def pass_pin(self) -> int:
+        self.flush_ticks()
         return self.gpio.pin(PASS_PIN)
 
     def uart_output(self) -> str:
+        self.flush_ticks()
         return self.uart.transmitted_text()
 
     @property
     def watchdog_expired(self) -> bool:
+        self.flush_ticks()
         return self.wdt.expired

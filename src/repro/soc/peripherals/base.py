@@ -76,6 +76,18 @@ class Peripheral:
     def tick(self, cycles: int = 1) -> None:
         """Advance model time by *cycles* core clocks."""
 
+    def event_horizon(self) -> int | None:
+        """Core cycles until this peripheral's ticking next changes
+        externally *observable* state — raises its interrupt line or
+        trips a latched condition (watchdog expiry) — or ``None`` when
+        no amount of ticking can (the SoC then defers ticking it until
+        a register access or probe settles the debt).  Register values
+        that merely count down are not events: the SFR ports flush
+        pending time before any read, so they are never seen stale.
+        Must be exact or an *underestimate*; flushing early is always
+        equivalent, flushing late is not."""
+        return None
+
     # -- register/field helpers for subclasses -----------------------------
     def reg_value(self, name: str) -> int:
         return self.values[name]

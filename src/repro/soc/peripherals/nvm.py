@@ -168,6 +168,11 @@ class NvmController(Peripheral):
             return status
         return value
 
+    def event_horizon(self) -> int | None:
+        # The only tick-driven event is operation completion (DONE +
+        # interrupt + array update) after the programming delay.
+        return self.busy_cycles if self.busy_cycles > 0 else None
+
     def tick(self, cycles: int = 1) -> None:
         if self.busy_cycles <= 0:
             return

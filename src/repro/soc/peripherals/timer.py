@@ -80,6 +80,21 @@ class Timer(Peripheral):
         elif reg.name == self._ctrl:
             pass  # EN/IE take effect on the next tick
 
+    def event_horizon(self) -> int | None:
+        if self.field_value(self._ctrl, "EN") != 1:
+            return None  # disabled: ticking is a no-op
+        if (
+            self.field_value(self._ctrl, "IE") == 1
+            and self.field_value(self._stat, "OVF") == 1
+        ):
+            # Level-sensitive: every tick re-raises the line until the
+            # handler clears OVF, so ticking cannot be deferred.
+            return 1
+        if self.field_value(self._ctrl, "IE") != 1:
+            return None  # counts, but can never raise an interrupt
+        # Underflow fires on the cycle after the counter hits zero.
+        return self.reg_value(self._count) + 1
+
     def tick(self, cycles: int = 1) -> None:
         if self.field_value(self._ctrl, "EN") != 1:
             self.irq = False

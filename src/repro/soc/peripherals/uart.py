@@ -127,6 +127,15 @@ class Uart(Peripheral):
             return 0
         return value
 
+    def event_horizon(self) -> int | None:
+        # The receive interrupt is level-sensitive on FIFO occupancy:
+        # while data is pending with RXIE set, every tick re-raises the
+        # line; otherwise ticking changes nothing (the FIFO only moves
+        # on register accesses, which settle deferred time themselves).
+        if self.rx_fifo and self.field_value(self._ctrl, "RXIE") == 1:
+            return 1
+        return None
+
     def tick(self, cycles: int = 1) -> None:
         rxie = self.field_value(self._ctrl, "RXIE")
         self.irq = bool(rxie and self.rx_fifo)

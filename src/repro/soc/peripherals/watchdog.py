@@ -87,6 +87,12 @@ class Watchdog(Peripheral):
         elif reg.name == self._ctrl:
             self.set_reg(self._count, self._timeout())
 
+    def event_horizon(self) -> int | None:
+        if self.expired or self.field_value(self._ctrl, "EN") != 1:
+            return None
+        # Expiry latches once cumulative ticking reaches the count.
+        return max(self.reg_value(self._count), 1)
+
     def tick(self, cycles: int = 1) -> None:
         if self.field_value(self._ctrl, "EN") != 1 or self.expired:
             return
