@@ -17,6 +17,24 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
+def strip_result(result):
+    """The comparable engine-visible outcome of a run — the tuple the
+    equivalence benches diff between engine configurations."""
+    return (
+        result.status,
+        result.signature,
+        result.result_word,
+        result.instructions,
+        result.cycles,
+        result.uart_output,
+        result.done_pin,
+        result.pass_pin,
+        None
+        if result.trace is None
+        else [(t.pc, t.opcode, t.mnemonic, t.cycles) for t in result.trace],
+    )
+
+
 def best_of(repeats: int, fn):
     """Run *fn* *repeats* times; returns ``(best_elapsed_s, value)``
     where *value* is the result of the best (fastest) run."""

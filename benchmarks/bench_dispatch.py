@@ -37,7 +37,7 @@ from repro.soc.derivatives import SC88A
 from repro.soc.device import PASS_MAGIC
 
 from conftest import shape
-from _harness import BenchResults, best_rate
+from _harness import BenchResults, best_rate, strip_result as strip
 
 MEMORY_MAP = SC88A.memory_map()
 
@@ -94,23 +94,6 @@ def timed_run(image, *, legacy: bool):
     elapsed = time.perf_counter() - start
     assert result.signature == PASS_MAGIC
     return result.instructions / elapsed, result
-
-
-def strip(result):
-    """The comparable engine-visible outcome of a run."""
-    return (
-        result.status,
-        result.signature,
-        result.result_word,
-        result.instructions,
-        result.cycles,
-        result.uart_output,
-        result.done_pin,
-        result.pass_pin,
-        None
-        if result.trace is None
-        else [(t.pc, t.opcode, t.mnemonic, t.cycles) for t in result.trace],
-    )
 
 
 def test_untraced_dispatch_speedup():

@@ -1,0 +1,140 @@
+"""Aggregate every ``BENCH_*.json`` into one ``BENCH_trend.json``.
+
+Each engine PR emits its own benchmark JSON (``BENCH_exec_engine``,
+``BENCH_memsys``, ``BENCH_dispatch``, ``BENCH_superblock``, ...), which
+makes the per-PR speedup trajectory invisible unless someone opens four
+files.  This module walks every benchmark JSON next to the repository
+root, extracts the speedup/reduction figures wherever they sit in each
+bench's schema, tags them with the PR that introduced the bench, and
+emits a single ``BENCH_trend.json`` with the chronological trajectory.
+
+Runs as a pytest module (CI wires it after the bench smokes so the
+artifact upload carries the aggregate) and as a script::
+
+    python benchmarks/bench_trend.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from conftest import shape
+from _harness import REPO_ROOT, BenchResults
+
+#: Bench name -> the PR whose ISSUE introduced it (the engine series;
+#: figure/claim benches reproduce the paper and carry no speedup
+#: trajectory of their own).
+BENCH_PR: dict[str, int] = {
+    "exec_engine": 1,
+    "memsys": 2,
+    "dispatch": 3,
+    "superblock": 4,
+}
+
+#: Keys whose numeric values are trajectory figures.
+_TREND_KEYS = ("speedup", "reduction")
+
+
+def extract_figures(data, prefix: str = "") -> dict[str, float]:
+    """Every ``speedup``/``reduction`` number in *data*, keyed by its
+    dotted path — schema-agnostic, so new benches join the trend by
+    just emitting JSON."""
+    figures: dict[str, float] = {}
+    if isinstance(data, dict):
+        for key, value in data.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ) and any(key.endswith(suffix) for suffix in _TREND_KEYS):
+                figures[path] = float(value)
+            else:
+                figures.update(extract_figures(value, path))
+    elif isinstance(data, list):
+        for index, value in enumerate(data):
+            figures.update(extract_figures(value, f"{prefix}[{index}]"))
+    return figures
+
+
+def build_trend() -> dict:
+    benches = {}
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        name = path.stem.removeprefix("BENCH_")
+        if name == "trend":
+            continue  # never aggregate our own output
+        data = json.loads(path.read_text())
+        figures = extract_figures(data)
+        benches[name] = {
+            "pr": BENCH_PR.get(name),
+            "figures": figures,
+            "peak_speedup": max(figures.values()) if figures else None,
+        }
+    trajectory = [
+        {
+            "pr": info["pr"],
+            "bench": name,
+            "peak_speedup": info["peak_speedup"],
+        }
+        for name, info in sorted(
+            benches.items(),
+            key=lambda item: (item[1]["pr"] is None, item[1]["pr"], item[0]),
+        )
+        if info["pr"] is not None
+    ]
+    return {"benches": benches, "trajectory": trajectory}
+
+
+def emit_trend():
+    results = BenchResults("trend")
+    trend = build_trend()
+    results["benches"] = trend["benches"]
+    results["trajectory"] = trend["trajectory"]
+    return results.emit(), trend
+
+
+def test_trend_aggregates_every_engine_bench():
+    # ``BENCH_*.json`` are generated artifacts (gitignored): CI runs
+    # this after the bench smokes, so all engine JSONs exist there.  On
+    # a fresh clone where no bench has run yet there is nothing to
+    # aggregate — skip rather than fail the suite.
+    missing = [
+        name
+        for name in BENCH_PR
+        if not (REPO_ROOT / f"BENCH_{name}.json").exists()
+    ]
+    if missing:
+        import pytest
+
+        pytest.skip(
+            "engine bench JSONs not generated yet: "
+            + ", ".join(f"BENCH_{name}.json" for name in missing)
+        )
+    path, trend = emit_trend()
+    benches = trend["benches"]
+    for name in BENCH_PR:
+        assert name in benches, f"BENCH_{name}.json missing from trend"
+        assert benches[name]["figures"], f"{name}: no speedup figures"
+    prs = [point["pr"] for point in trend["trajectory"]]
+    assert prs == sorted(prs)
+    shape(
+        f"trend: {len(benches)} bench files -> {path.name}, trajectory "
+        + " ".join(
+            f"PR{point['pr']}:{point['peak_speedup']}x"
+            for point in trend["trajectory"]
+        )
+    )
+
+
+def main() -> int:
+    path, trend = emit_trend()
+    print(f"wrote {path}")
+    for point in trend["trajectory"]:
+        print(
+            f"  PR {point['pr']}: {point['bench']} "
+            f"peak speedup {point['peak_speedup']}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

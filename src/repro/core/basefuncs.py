@@ -231,7 +231,24 @@ Base_UART_Print_done:
 
 TIMER_WDT_FUNCTIONS = """\
 ;; ---- timer / watchdog ----------------------------------------------------
-;; Block for d4 timer ticks (one-shot), then stop the timer.
+;; Burn roughly 2*d4 cycles in a pure register spin: no loads, no
+;; stores, no SFR traffic.  The canonical calibrated busy-wait -- and,
+;; because the loop body is a bare DJNZ, exactly the shape the
+;; emulation core's idle fast-forward elides (d4 = 0 spins nothing).
+Base_Spin:
+    MOV d11, d4
+    CMPI d11, 0
+    JZ Base_Spin_done
+Base_Spin_loop:
+    DJNZ d11, Base_Spin_loop
+Base_Spin_done:
+    RETURN
+
+;; Block for d4 timer ticks (one-shot), then stop the timer.  Between
+;; status polls the function burns DELAY_LOOPS iterations in a pure
+;; spin (per-target calibration from Globals.inc): hammering TIM_STAT
+;; every few cycles is bus noise a real delay loop avoids, and the
+;; spin is idle-loop-shaped so emulation fast-forwards it.
 Base_Timer_Delay:
     LOAD a11, TIM_RELOAD_ADDR
     ST.W [a11], d4
@@ -244,6 +261,9 @@ Base_Timer_Delay:
     LOAD d13, POLL_LIMIT
     LOAD a11, TIM_STAT_ADDR
 Base_Timer_Delay_poll:
+    LOAD d11, DELAY_LOOPS
+Base_Timer_Delay_spin:
+    DJNZ d11, Base_Timer_Delay_spin ;; idle superblock: fast-forwarded
     LD.W d11, [a11]
     TSTB d11, 0
     JNZ Base_Timer_Delay_done

@@ -208,7 +208,11 @@ def target_entries(target: Target) -> list[DefineEntry]:
         DefineEntry(
             "POLL_LIMIT", target.poll_limit, "status-poll budget per target"
         ),
-        DefineEntry("DELAY_LOOPS", target.delay_loops),
+        DefineEntry(
+            "DELAY_LOOPS",
+            target.delay_loops,
+            "calibrated pure-spin iterations between status polls",
+        ),
     ]
 
 

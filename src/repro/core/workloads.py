@@ -286,6 +286,33 @@ _main:
     )
 
 
+def spin_burn_test(index: int, loops: int = 4096) -> TestCell:
+    """Calibrated busy-wait: burn *loops* pure-spin iterations, verify
+    the counter ran to zero.  The delay shape embedded software uses
+    between device operations — and the worst case for an emulator that
+    retires every iteration, which is exactly what the idle fast-forward
+    exists to elide."""
+    source = f"""\
+;; busy-wait burn test {index}: {loops} pure spin iterations
+.INCLUDE Globals.inc
+SPIN_LOOPS .EQU {loops}
+_main:
+    LOAD d4, SPIN_LOOPS
+    CALL Base_Spin
+    ;; the spin counter must have run down to exactly zero
+    MOV d4, d11
+    LOAD d5, 0
+    CALL Base_Check_EQ
+    JMP Base_Report_Pass
+"""
+    return TestCell(
+        name=f"TEST_SPIN_BURN_{index:03d}",
+        source=source,
+        description=f"pure busy-wait of {loops} spin iterations",
+        testplan_ids=(f"DELAY_{index:03d}",),
+    )
+
+
 def timer_irq_test() -> TestCell:
     source = """\
 ;; timer interrupt test: two ticks must be counted by the global handler
@@ -510,6 +537,30 @@ def make_timer_environment(
     env.add_test(timer_delay_test(2, ticks=200))
     env.add_test(timer_irq_test())
     env.add_test(watchdog_service_test())
+    return env
+
+
+def make_delay_environment(
+    delay_ticks: tuple[int, ...] = (20_000, 60_000),
+    spin_loops: tuple[int, ...] = (50_000, 200_000),
+    derivatives: list[Derivative] | None = None,
+    targets: list[Target] | None = None,
+    global_layer: GlobalLayer | None = None,
+) -> ModuleTestEnvironment:
+    """Delay-heavy module environment: long one-shot timer delays plus
+    pure busy-wait burns.  Wall-clock here is dominated by cycles the
+    program only counts, so this is the workload the superblock engine's
+    idle fast-forward is benchmarked (and equivalence-tested) on."""
+    env = ModuleTestEnvironment(
+        "DELAY",
+        derivatives=derivatives,
+        targets=targets,
+        global_layer=global_layer,
+    )
+    for index, ticks in enumerate(delay_ticks, 1):
+        env.add_test(timer_delay_test(index, ticks=ticks))
+    for index, loops in enumerate(spin_loops, 1):
+        env.add_test(spin_burn_test(index, loops=loops))
     return env
 
 

@@ -33,6 +33,21 @@ Caches are shared across platforms via :func:`decode_cache_for`, keyed
 by the image's content digest: the six platforms of one regression run
 the same linked image, so the decode work is paid once per image, not
 once per platform.
+
+On top of the per-address entries the cache stitches **superblocks**
+(:class:`Superblock`): maximal straight-line runs of pure-register
+instructions plus one terminator (a branch, call, trap, memory micro-op,
+or interrupt-enable writer).  The core's block runner executes a
+superblock body as one fused loop — no per-instruction cache probe,
+interrupt probe, or budget check — and chains block-to-block across
+taken branches by caching the successor block on the branch's
+superblock (validated against the live program counter on every
+transition, so dynamic targets like ``RET`` stay correct).  Superblocks
+whose entire architectural effect is counting a register down
+(``DJNZ rX, .`` self-loops) are flagged as *idle spins* so the core can
+fast-forward them analytically.  Like entries, superblocks are pure
+functions of the image bytes: the digest key that shares the cache also
+invalidates every block when the image changes.
 """
 
 from __future__ import annotations
@@ -959,6 +974,95 @@ EXECUTORS: dict[int, Callable] = {
 
 assert all(int(op) in EXECUTORS for op in Opcode), "executor table incomplete"
 
+
+# ---------------------------------------------------------------------------
+# Superblocks — straight-line fusion over decoded entries.
+# ---------------------------------------------------------------------------
+
+#: Opcodes that end a superblock.  Control flow ends a block because the
+#: next pc is decided at run time; ``HALT`` because the runner's loop
+#: condition must see it; ``EI``/``WRPSW``/``RETI`` because they can
+#: turn the interrupt-enable bit on (the runner probes interrupts once
+#: per block, which is only sound while no body instruction can arm
+#: them); ``DIVU``/``TRAP`` because they can enter a trap handler.
+#: Memory micro-ops (``mem_kind != MEM_NONE``) also terminate: a load or
+#: store may land on an SFR page, flushing deferred peripheral time,
+#: raising interrupt lines, or cutting the block deadline — all of which
+#: the runner must re-check before retiring another instruction.
+_SB_BARRIER_OPCODES = frozenset(
+    int(op)
+    for op in (
+        Opcode.JMP, Opcode.JZ, Opcode.JNZ, Opcode.JC, Opcode.JNC,
+        Opcode.JN, Opcode.JNN, Opcode.JV, Opcode.JNV,
+        Opcode.JGE, Opcode.JLT, Opcode.JGT, Opcode.JLE,
+        Opcode.CALL_ABS, Opcode.CALL_IND, Opcode.DJNZ,
+        Opcode.RET, Opcode.RETI, Opcode.TRAP, Opcode.HALT,
+        Opcode.EI, Opcode.WRPSW, Opcode.DIVU,
+    )
+)
+
+#: Body length cap: bounds formation cost and keeps the fused loop's
+#: all-or-nothing budget precheck from degrading deadline granularity.
+_SB_MAX_BODY = 64
+
+_DJNZ_OPCODE = int(Opcode.DJNZ)
+_JUMP_TAKEN_EXTRA = 1
+
+
+class Superblock:
+    """One straight-line run of decoded instructions plus its terminator.
+
+    ``body`` entries are pure-register operations: no bus access, no
+    trap, no control flow, no interrupt-enable writes — executing them
+    cannot change anything the block runner's hoisted checks observe,
+    which is what makes the fused body loop sound.  ``terminator`` is
+    the instruction that ends the block (``None`` when the next address
+    is not cacheable and the runner must fall back to the legacy step).
+
+    ``succ_taken``/``succ_fall`` memoise the successor superblock after
+    the terminator's taken/fall-through edge.  They are a *prediction*,
+    not an invariant: the runner validates ``succ.start`` against the
+    live pc on every transition, so shared caches, dynamic branch
+    targets and interrupt redirections all stay correct.
+
+    A block that is exactly ``DJNZ rX, .`` (empty body, terminator
+    looping to its own start) is an **idle spin**: its only
+    architectural effect per taken iteration is ``rX -= 1``, the logic
+    flags of the result, and ``spin_cost`` cycles.  ``spin_reg`` holds
+    the counter register index (-1 otherwise) so the core can
+    fast-forward the loop analytically.
+    """
+
+    __slots__ = (
+        "start", "body", "body_count", "body_cycles", "terminator",
+        "succ_taken", "succ_fall", "spin_reg", "spin_cost",
+    )
+
+    def __init__(
+        self,
+        start: int,
+        body: tuple[DecodedInstruction, ...],
+        terminator: DecodedInstruction | None,
+    ):
+        self.start = start
+        self.body = body
+        self.body_count = len(body)
+        self.body_cycles = sum(entry.base_cycles for entry in body)
+        self.terminator = terminator
+        self.succ_taken: Superblock | None = None
+        self.succ_fall: Superblock | None = None
+        if (
+            not body
+            and terminator is not None
+            and terminator.opcode == _DJNZ_OPCODE
+            and terminator.imm_u == start
+        ):
+            self.spin_reg = terminator.r1
+            self.spin_cost = terminator.base_cycles + _JUMP_TAKEN_EXTRA
+        else:
+            self.spin_reg = -1
+            self.spin_cost = 0
+
 #: Opcodes whose ``imm_u`` is the sign-extended-and-masked immediate.
 _SIGNED_IMM_OPS = frozenset({Opcode.ADDI, Opcode.CMPI})
 #: Opcodes whose ``imm_u`` is the raw zero-extended ``imm16``.
@@ -1027,7 +1131,7 @@ class DecodeCache:
     """
 
     __slots__ = ("_entries", "_skip", "_segments", "_miss_lock",
-                 "hits", "misses")
+                 "_blocks", "hits", "misses")
 
     def __init__(
         self,
@@ -1051,6 +1155,9 @@ class DecodeCache:
             )
         self._segments.sort()
         self._entries: dict[int, DecodedInstruction] = {}
+        #: pc -> superblock starting at that address (lazy, see
+        #: :meth:`block_at`).
+        self._blocks: dict[int, Superblock] = {}
         #: Addresses proven non-cacheable (data words, illegal opcodes,
         #: truncated two-word instructions) — never retried.
         self._skip: set[int] = set()
@@ -1081,6 +1188,43 @@ class DecodeCache:
             self._entries[pc] = entry
             self.misses += 1
         return entry
+
+    def block_at(self, pc: int) -> Superblock | None:
+        """The superblock starting at *pc*, formed lazily; ``None`` when
+        the address itself is not cacheable (the caller falls back to
+        the legacy fetch-decode step).
+
+        Formation happens outside the miss lock — entries are decoded
+        through the thread-safe :meth:`get` and blocks are deterministic
+        functions of the image bytes, so concurrent duplicate formation
+        is benign (both threads store an identical block).
+        """
+        block = self._blocks.get(pc)
+        if block is not None:
+            return block
+        first = self.get(pc)
+        if first is None:
+            return None
+        block = self._form_block(pc, first)
+        self._blocks[pc] = block
+        return block
+
+    def _form_block(self, pc: int, first: DecodedInstruction) -> Superblock:
+        body: list[DecodedInstruction] = []
+        entry: DecodedInstruction | None = first
+        terminator: DecodedInstruction | None = None
+        while entry is not None:
+            if (
+                entry.mem_kind != MEM_NONE
+                or entry.opcode in _SB_BARRIER_OPCODES
+            ):
+                terminator = entry
+                break
+            body.append(entry)
+            if len(body) >= _SB_MAX_BODY:
+                break
+            entry = self.get(entry.next_pc)
+        return Superblock(pc, tuple(body), terminator)
 
     def predecode_all(self) -> int:
         """Eagerly decode every aligned word (benchmarks/tools); returns

@@ -116,6 +116,16 @@ class Platform(ABC):
     #: step/tick loop.  Both paths retire byte-identical results; the
     #: per-step loop is kept as the reference baseline.
     use_block_run: bool = True
+    #: When True, the core's block loop executes superblock-at-a-time
+    #: (straight-line fusion + chaining across taken branches); False
+    #: selects the ISSUE 3 per-instruction hoisted loop, which
+    #: benchmarks use as the pre-superblock baseline.
+    use_superblocks: bool = True
+    #: When True, idle ``DJNZ`` self-loops are fast-forwarded
+    #: analytically (clamped to the event horizon).  Self-disables with
+    #: the rest of the hoisted fast path under tracing, wait-state
+    #: charging, fault hooks and ``use_block_run=False``.
+    use_fast_forward: bool = True
 
     last_soc: SystemOnChip | None = None
     last_cpu: CpuCore | None = None

@@ -161,10 +161,34 @@ class CpuCore:
         #: inline word micro-op branch plus the ``_execute`` chain),
         #: which benchmarks use as the pre-PR baseline.
         self.use_exec_table = True
+        #: When True (the default), the hoisted block loop executes
+        #: decoded instructions superblock-at-a-time (straight-line
+        #: bodies fused, successors chained across taken branches) with
+        #: idle ``DJNZ`` self-loops fast-forwarded analytically.  When
+        #: False, :meth:`run` uses the per-instruction hoisted loop —
+        #: the ISSUE 3 engine, kept as the benchmark baseline.
+        self.use_superblocks = True
+        #: Gates the idle-spin fast-forward independently of superblock
+        #: fusion (ablation / debugging).  The fast path also disables
+        #: itself whenever the hoisted loop does: tracing, wait-state
+        #: charging, fault hooks, and ``use_block_run=False`` sessions
+        #: all run the reference per-instruction retire stream.
+        self.use_fast_forward = True
+        #: Idle-spin warps performed (telemetry for tests/benchmarks).
+        self.ff_warps = 0
         #: Cycle deadline of the current :meth:`run` block; peripheral
         #: scheduling shortens it via :meth:`cut_block` when an SFR
         #: write may have moved the next event horizon.
         self._block_deadline: int | None = None
+        #: Superblock chain memo carried between :meth:`run` blocks:
+        #: ``(decode_cache, predicted_next_block)``.  Validated against
+        #: the live cache and pc before use; flushed by
+        #: :meth:`cut_block` (an SFR write may have rescheduled the
+        #: world) and by :meth:`reset`.
+        self._sb_resume: tuple | None = None
+        #: Bumped by :meth:`cut_block`; a runner that observes a bump
+        #: mid-run discards its chain instead of persisting it.
+        self._sb_epoch = 0
 
     # -- lifecycle ---------------------------------------------------------
     def reset(self, entry: int, stack_pointer: int) -> None:
@@ -175,6 +199,9 @@ class CpuCore:
         self.cycles = 0
         self.brk_events = []
         self._pending_waits = 0
+        self.ff_warps = 0
+        self._sb_resume = None
+        self._sb_epoch += 1
 
     def enable_trace(self, limit: int = 100_000) -> None:
         self.trace = InstructionTrace(limit)
@@ -537,8 +564,13 @@ class CpuCore:
     def cut_block(self) -> None:
         """End the current :meth:`run` block after the instruction in
         flight (peripheral scheduling calls this when an SFR write may
-        have moved the next event horizon)."""
+        have moved the next event horizon).  Also flushes the cached
+        superblock successor chain: the store that cut the block may
+        have rescheduled the world, so the next block must re-resolve
+        from the decode cache rather than ride a stale prediction."""
         self._block_deadline = self.cycles
+        self._sb_resume = None
+        self._sb_epoch += 1
 
     def run(
         self,
@@ -585,6 +617,10 @@ class CpuCore:
                     break
             return self.cycles - start_cycles
 
+        if self.use_superblocks:
+            self._run_superblocks(limit)
+            return self.cycles - start_cycles
+
         # Hoisted hot loop: every iteration is at most an interrupt
         # probe, a cache probe and one executor call.
         self._pending_waits = 0
@@ -622,6 +658,153 @@ class CpuCore:
             if deadline is not None and self.cycles >= deadline:
                 break
         return self.cycles - start_cycles
+
+    def _run_superblocks(self, limit: int | None) -> None:
+        """Superblock execution loop (the hoisted invariants hold).
+
+        Retires instructions block-at-a-time: the interrupt probe and
+        the limit check run once per superblock (sound because body
+        instructions are pure-register — they cannot raise bus traffic,
+        flush peripheral time, take traps, or arm the interrupt-enable
+        bit), the straight-line body executes as one fused loop with
+        cycles and retire counts batched, and the terminator chains
+        directly to its cached successor block.  Near a cycle deadline
+        or retire limit the body falls back to single-instruction
+        stepping so stop points stay exactly where the per-instruction
+        loops put them.
+
+        Idle spins (``DJNZ rX, .``) are fast-forwarded: the remaining
+        taken iterations are warped analytically — counter, logic
+        flags, cycle counter and retire count all land exactly where
+        per-instruction execution would put them — clamped to the
+        block deadline (the SoC's event horizon) and the retire limit
+        so interrupt delivery and stop points are byte-identical.  The
+        final, not-taken iteration always executes normally.
+        """
+        regs = self.regs
+        psw = regs.psw
+        intc = self.intc
+        cache = self.decode_cache
+        block_at = cache.block_at
+        fast_forward = self.use_fast_forward
+        epoch = self._sb_epoch
+        resume = self._sb_resume
+        sb = resume[1] if resume is not None and resume[0] is cache else None
+        self._pending_waits = 0
+        while not self.halted:
+            retired = self.instructions_retired
+            if limit is not None and retired >= limit:
+                break
+            if intc is not None and psw.interrupt_enable:
+                self._check_interrupts()
+            pc = regs.pc
+            if sb is None or sb.start != pc:
+                sb = block_at(pc)
+                if sb is None:
+                    # RAM execution / trap-prone address: one reference
+                    # step through the legacy bus-fetch path.
+                    self._step_uncached(pc, self.cycles)
+                    deadline = self._block_deadline
+                    if deadline is not None and self.cycles >= deadline:
+                        break
+                    continue
+            if fast_forward and sb.spin_reg >= 0:
+                counter = regs.data[sb.spin_reg]
+                warp = (counter - 1) & WORD_MASK
+                if limit is not None and warp > limit - retired:
+                    warp = limit - retired
+                deadline = self._block_deadline
+                if deadline is not None:
+                    room = deadline - self.cycles
+                    cost = sb.spin_cost
+                    # First iteration count whose retire lands at or
+                    # past the deadline — exactly where per-instruction
+                    # stepping stops.
+                    boundary = -(-room // cost) if room > 0 else 0
+                    if warp > boundary:
+                        warp = boundary
+                if warp > 0:
+                    value = (counter - warp) & WORD_MASK
+                    regs.data[sb.spin_reg] = value
+                    psw.set_logic_flags(value)
+                    self.instructions_retired = retired + warp
+                    self.cycles += warp * sb.spin_cost
+                    cache.hits += warp
+                    self.ff_warps += 1
+                    if deadline is not None and self.cycles >= deadline:
+                        break
+                    continue  # remaining iterations retire normally
+            body = sb.body
+            if body:
+                deadline = self._block_deadline
+                if (limit is None or retired + sb.body_count <= limit) and (
+                    deadline is None
+                    or self.cycles + sb.body_cycles < deadline
+                ):
+                    for entry in body:
+                        entry.exec(self, entry)
+                    retired += sb.body_count
+                    self.instructions_retired = retired
+                    self.cycles += sb.body_cycles
+                    cache.hits += sb.body_count
+                else:
+                    # Within a limit/deadline window narrower than the
+                    # body: retire one instruction and re-resolve, so
+                    # the stop point matches per-instruction stepping.
+                    entry = body[0]
+                    entry.exec(self, entry)
+                    self.instructions_retired = retired + 1
+                    self.cycles += entry.base_cycles
+                    cache.hits += 1
+                    sb = None
+                    if deadline is not None and self.cycles >= deadline:
+                        break
+                    continue
+                if limit is not None and retired >= limit:
+                    break  # retire ceiling reached before the terminator
+            term = sb.terminator
+            if term is None:
+                # Next address not cacheable: resolve it at the top of
+                # the loop (legacy step or a fresh block).
+                sb = None
+                deadline = self._block_deadline
+                if deadline is not None and self.cycles >= deadline:
+                    break
+                continue
+            try:
+                taken = term.exec(self, term)
+            except BusError:
+                self.take_trap(TRAP_BUS_ERROR, term.next_pc)
+                self.cycles += 2
+                self.instructions_retired += 1
+                sb = None
+            else:
+                self.instructions_retired += 1
+                self.cycles += (
+                    term.base_cycles + _JUMP_TAKEN_EXTRA
+                    if taken
+                    else term.base_cycles
+                )
+                cache.hits += 1
+                # Chain: ride the cached successor when it matches the
+                # live pc, otherwise resolve and memoise it.
+                succ = sb.succ_taken if taken else sb.succ_fall
+                next_pc = regs.pc
+                if succ is None or succ.start != next_pc:
+                    succ = block_at(next_pc)
+                    if succ is not None:
+                        if taken:
+                            sb.succ_taken = succ
+                        else:
+                            sb.succ_fall = succ
+                sb = succ
+            deadline = self._block_deadline
+            if deadline is not None and self.cycles >= deadline:
+                break
+        # Persist the predicted chain for the next block run — unless a
+        # cut_block() mid-run flushed it (the cut wins: re-resolve).
+        if self._sb_epoch == epoch:
+            self._sb_resume = None if sb is None else (cache, sb)
 
     # -- execution ---------------------------------------------------------
     def _execute(

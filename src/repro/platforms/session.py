@@ -31,6 +31,13 @@ picked up), which makes batched and per-step driving byte-identical —
 the legacy step/tick loop survives behind ``use_block_run=False`` as
 the reference baseline.
 
+Within a block the core executes superblock-at-a-time (straight-line
+fusion, chaining across taken branches, and analytic fast-forward of
+idle ``DJNZ`` spins — see :mod:`repro.isa.decodecache` and
+:meth:`CpuCore._run_superblocks`); ``use_superblocks=False`` selects
+the per-instruction hoisted loop and ``use_fast_forward=False`` just
+the warp, both for ablation benchmarks.
+
 ``Platform.run`` now delegates to a throwaway session, so its
 fresh-device-per-call semantics (``last_soc``/``last_cpu`` inspection)
 are unchanged; the :class:`~repro.core.scheduler.RegressionScheduler`
@@ -55,6 +62,8 @@ class ExecutionSession:
         derivative: Derivative,
         use_decode_cache: bool | None = None,
         use_block_run: bool | None = None,
+        use_superblocks: bool | None = None,
+        use_fast_forward: bool | None = None,
     ):
         self.platform = platform
         self.derivative = derivative
@@ -74,6 +83,16 @@ class ExecutionSession:
             getattr(platform, "use_block_run", True)
             if use_block_run is None
             else use_block_run
+        )
+        self.cpu.use_superblocks = (
+            getattr(platform, "use_superblocks", True)
+            if use_superblocks is None
+            else use_superblocks
+        )
+        self.cpu.use_fast_forward = (
+            getattr(platform, "use_fast_forward", True)
+            if use_fast_forward is None
+            else use_fast_forward
         )
         self.runs_completed = 0
 

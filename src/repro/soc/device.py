@@ -250,14 +250,22 @@ class SystemOnChip:
 
     def flush_ticks(self) -> None:
         """Settle deferred peripheral time up to the bound core's
-        current cycle count, then recompute the event horizon."""
+        current cycle count, then recompute the event horizon.
+
+        With zero debt the flush is a no-op: no peripheral saw new
+        cycles, so the horizon computed at the last settle (or by
+        :meth:`horizon_changed` after the last register write) still
+        holds.  Skipping the recompute keeps back-to-back probes and
+        polls from paying a full peripheral walk each.
+        """
         cpu = self._cpu
         if cpu is None:
             return
         debt = cpu.cycles - self._ticked_cycles
-        if debt > 0:
-            self._ticked_cycles += debt
-            self.tick(debt)
+        if debt <= 0:
+            return
+        self._ticked_cycles += debt
+        self.tick(debt)
         self._horizon = self._compute_horizon()
 
     def horizon_changed(self) -> None:

@@ -96,25 +96,28 @@ class Timer(Peripheral):
         return self.reg_value(self._count) + 1
 
     def tick(self, cycles: int = 1) -> None:
+        # Closed-form advance: one batched tick must cost O(1), not
+        # O(underflows) — event-horizon scheduling and idle fast-forward
+        # can hand a free-running timer millions of deferred cycles in a
+        # single flush.  The first underflow consumes ``count + 1``
+        # cycles; every further reload period consumes ``reload + 1``.
         if self.field_value(self._ctrl, "EN") != 1:
             self.irq = False
             return
         count = self.reg_value(self._count)
-        reload = self.reg_value(self._reload) & self.max_count
-        remaining = cycles
-        while remaining > 0:
-            if count >= remaining:
-                count -= remaining
-                remaining = 0
+        if cycles <= count:
+            count -= cycles
+        else:
+            self.underflows += 1
+            self.set_field(self._stat, "OVF", 1)
+            if self.field_value(self._ctrl, "ONESHOT"):
+                self.set_field(self._ctrl, "EN", 0)
+                count = 0
             else:
-                remaining -= count + 1
-                self.underflows += 1
-                self.set_field(self._stat, "OVF", 1)
-                if self.field_value(self._ctrl, "ONESHOT"):
-                    self.set_field(self._ctrl, "EN", 0)
-                    count = 0
-                    break
-                count = reload
+                reload = self.reg_value(self._reload) & self.max_count
+                extra, leftover = divmod(cycles - (count + 1), reload + 1)
+                self.underflows += extra
+                count = reload - leftover
         self.set_reg(self._count, count)
         interrupt_enabled = self.field_value(self._ctrl, "IE") == 1
         overflow = self.field_value(self._stat, "OVF") == 1
