@@ -1,0 +1,278 @@
+"""Observation-grade fast path benchmarks (ISSUE 5).
+
+The paper's product *is* the observed run — coverage from bus traces,
+retire traces, cycle-accurate timing — yet until this PR the superblock
+engine self-disabled the moment any of those was on, so exactly the
+runs the methodology cares about executed on the per-instruction path.
+This bench records the numbers ISSUE 5 ties the observed engine to,
+against ``use_superblocks=False`` (which under observation is the
+per-step reference loop — the PR 4 fallback behaviour):
+
+- instructions/sec on a **traced coverage run** (golden model,
+  instruction trace + unbounded bus-trace recording, the functional
+  coverage configuration) over the delay-heavy workloads, asserting
+  the >= 2x floor (>= 1.5x in ``--quick`` mode);
+- instructions/sec on a **wait-state platform run** (RTL: cycle
+  accurate, instruction traced) over the same workloads, same floors —
+  exercising the static fetch-wait folding;
+- byte-identical signature / cycles / retire trace / bus access stream
+  / IRQ-delivery timing against the reference on every measured cell,
+  checked *before* any speed claim, plus the interrupt-heavy timer
+  suite under full observation;
+- fast-path telemetry (``ff_warps``, superblocks executed, template
+  replays, legacy fallbacks) so a regression in fast-path *coverage*
+  (a new silent self-disable) fails the bench even if wall-clock
+  happens to survive.
+
+Emits ``BENCH_trace_fastpath.json`` next to the repository root.  Also
+runnable as a script: ``python benchmarks/bench_trace_fastpath.py
+[--quick]`` — the CI perf-smoke job uses ``--quick`` and fails the
+build if a floor or any byte-identity assertion trips.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.targets import TARGET_GOLDEN, TARGET_RTL
+from repro.core.workloads import (
+    make_delay_environment,
+    make_timer_environment,
+)
+from repro.platforms import ExecutionSession, GoldenModel, RtlSim
+from repro.soc.derivatives import SC88A
+from repro.soc.device import PASS_MAGIC
+
+from conftest import shape
+from _harness import BenchResults, best_rate, strip_result as strip
+
+RESULTS = BenchResults("trace_fastpath")
+
+#: Full (pytest/CI bench) and quick (perf-smoke gate) configurations.
+FULL = {
+    "delay_ticks": (60_000,),
+    "spin_loops": (150_000,),
+    "repeats": 3,
+    "min_speedup": 2.0,
+    "mode": "full",
+}
+QUICK = {
+    "delay_ticks": (15_000,),
+    "spin_loops": (40_000,),
+    "repeats": 2,
+    "min_speedup": 1.5,
+    "mode": "quick",
+}
+
+#: The two observed configurations the ISSUE names: a traced coverage
+#: run (functional platform, bus trace recorded for the coverage
+#: collector) and a cycle-accurate wait-state run.
+SCENARIOS = (
+    ("traced_coverage", GoldenModel, TARGET_GOLDEN, True),
+    ("wait_states", RtlSim, TARGET_RTL, False),
+)
+
+
+def observed_session(platform_cls, *, record_bus, fast: bool):
+    platform = platform_cls()
+    platform.record_bus_trace = record_bus
+    if fast:
+        return ExecutionSession(platform, SC88A)
+    # Under observation ``use_superblocks=False`` lands on the per-step
+    # reference loop — exactly the pre-ISSUE 5 fallback behaviour.
+    return ExecutionSession(platform, SC88A, use_superblocks=False)
+
+
+def timed_observed_run(image, platform_cls, *, record_bus, fast):
+    session = observed_session(platform_cls, record_bus=record_bus, fast=fast)
+    start = time.perf_counter()
+    result = session.run(image)
+    elapsed = time.perf_counter() - start
+    assert result.signature == PASS_MAGIC
+    bus_events = (
+        None
+        if session.platform.last_bus_trace is None
+        else list(session.platform.last_bus_trace.raw())
+    )
+    return (
+        result.instructions / elapsed,
+        result,
+        bus_events,
+        session.stats(),
+    )
+
+
+def scenario_images(config, target):
+    env = make_delay_environment(
+        delay_ticks=config["delay_ticks"], spin_loops=config["spin_loops"]
+    )
+    return [
+        (cell, env.build_image(cell, SC88A, target).image)
+        for cell in env.cells
+    ]
+
+
+def run_observed_speedup(config) -> dict:
+    """The acceptance numbers: observed superblock engine vs the
+    per-step fallback on the traced-coverage and wait-state scenarios,
+    byte-identical (outcome, retire trace, bus access stream) first."""
+    scenarios = {}
+    for name, platform_cls, target, record_bus in SCENARIOS:
+        per_cell = {}
+        total_fast = 0.0
+        total_fallback = 0.0
+        warps_total = 0
+        blocks_total = 0
+        replays_total = 0
+        for cell, image in scenario_images(config, target):
+            fast_ips, (fast_result, fast_bus, fast_stats) = best_rate(
+                config["repeats"],
+                lambda: timed_observed_run(
+                    image, platform_cls, record_bus=record_bus, fast=True
+                ),
+            )
+            fallback_ips, (fb_result, fb_bus, fb_stats) = best_rate(
+                config["repeats"],
+                lambda: timed_observed_run(
+                    image, platform_cls, record_bus=record_bus, fast=False
+                ),
+            )
+            # Byte-identity before any speed claim: outcome (incl. the
+            # retire trace and cycle counts) and the bus access stream.
+            assert strip(fast_result) == strip(fb_result), (name, cell)
+            assert fast_bus == fb_bus, (name, cell)
+            # Fast-path coverage: the engine really ran (blocks, warps,
+            # bulk template replays) with no silent per-step fallbacks,
+            # and the reference really stayed off it.
+            assert fast_stats["sb_blocks"] > 0, (name, cell)
+            assert fast_stats["sb_replays"] > 0, (name, cell)
+            assert fast_stats["sb_fallback_steps"] == 0, (name, cell)
+            assert fast_stats["ff_warps"] > 0, (name, cell)
+            assert fb_stats["sb_blocks"] == 0, (name, cell)
+            instructions = fast_result.instructions
+            total_fast += instructions / fast_ips
+            total_fallback += instructions / fallback_ips
+            warps_total += fast_stats["ff_warps"]
+            blocks_total += fast_stats["sb_blocks"]
+            replays_total += fast_stats["sb_replays"]
+            per_cell[cell] = {
+                "instructions": instructions,
+                "fallback_ips": round(fallback_ips),
+                "fast_ips": round(fast_ips),
+                "speedup": round(fast_ips / fallback_ips, 2),
+                "ff_warps": fast_stats["ff_warps"],
+                "sb_blocks": fast_stats["sb_blocks"],
+                "sb_replays": fast_stats["sb_replays"],
+                "sb_fallback_steps": fast_stats["sb_fallback_steps"],
+            }
+        scenarios[name] = {
+            "per_cell": per_cell,
+            "speedup": round(total_fallback / total_fast, 2),
+            "min_required": config["min_speedup"],
+            "telemetry": {
+                "ff_warps": warps_total,
+                "sb_blocks": blocks_total,
+                "sb_replays": replays_total,
+            },
+            "mode": config["mode"],
+        }
+    return scenarios
+
+
+def run_irq_identity_under_observation() -> dict:
+    """Interrupt-heavy timer suite under full observation (instruction
+    trace + bus trace, golden and RTL): delivery timing and every
+    recorded event byte-identical to the per-step fallback."""
+    cells_checked = 0
+    for _name, platform_cls, target, _record in SCENARIOS:
+        env = make_timer_environment()
+        for cell in env.cells:
+            image = env.build_image(cell, SC88A, target).image
+            _, fast_result, fast_bus, fast_stats = timed_observed_run(
+                image, platform_cls, record_bus=True, fast=True
+            )
+            _, fb_result, fb_bus, _ = timed_observed_run(
+                image, platform_cls, record_bus=True, fast=False
+            )
+            assert strip(fast_result) == strip(fb_result), cell
+            assert fast_bus == fb_bus, cell
+            assert fast_stats["sb_fallback_steps"] == 0, cell
+            cells_checked += 1
+    return {"irq_cells": cells_checked}
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (full configuration)
+# ---------------------------------------------------------------------------
+
+def test_observed_fastpath_speedup():
+    scenarios = run_observed_speedup(FULL)
+    for name, numbers in scenarios.items():
+        RESULTS[name] = numbers
+        shape(
+            f"trace_fastpath: {name} {numbers['speedup']:.2f}x vs the "
+            "per-step fallback "
+            f"({numbers['telemetry']['ff_warps']} warps, "
+            f"{numbers['telemetry']['sb_blocks']} blocks, "
+            "byte-identical outcome/trace/bus stream)"
+        )
+        assert numbers["speedup"] >= FULL["min_speedup"], (
+            f"{name} speedup {numbers['speedup']:.2f}x below "
+            f"{FULL['min_speedup']}x target"
+        )
+
+
+def test_irq_identity_and_emit_json():
+    numbers = run_irq_identity_under_observation()
+    RESULTS["equivalence"] = numbers
+    shape(
+        f"trace_fastpath: {numbers['irq_cells']} interrupt-heavy fully "
+        "observed runs byte-identical to the per-step fallback"
+    )
+    path = RESULTS.emit()
+    shape(f"trace_fastpath: wrote {path.name}")
+
+
+# ---------------------------------------------------------------------------
+# script mode: the CI perf-smoke gate
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    config = QUICK if quick else FULL
+    try:
+        scenarios = run_observed_speedup(config)
+        equivalence = run_irq_identity_under_observation()
+    except AssertionError as failure:
+        print(f"FAIL: {failure}")
+        return 1
+    for name, numbers in scenarios.items():
+        RESULTS[name] = numbers
+    RESULTS["equivalence"] = equivalence
+    path = RESULTS.emit()
+    summary = ", ".join(
+        f"{name} {numbers['speedup']}x" for name, numbers in scenarios.items()
+    )
+    print(
+        f"trace_fastpath[{config['mode']}]: {summary} "
+        f"(floor {config['min_speedup']}x), "
+        f"{equivalence['irq_cells']} observed IRQ cells byte-identical "
+        f"-> {path.name}"
+    )
+    failed = [
+        name
+        for name, numbers in scenarios.items()
+        if numbers["speedup"] < config["min_speedup"]
+    ]
+    if failed:
+        print(
+            f"FAIL: {', '.join(failed)} below the "
+            f"{config['min_speedup']}x floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,7 +11,14 @@ emits a single ``BENCH_trend.json`` with the chronological trajectory.
 Runs as a pytest module (CI wires it after the bench smokes so the
 artifact upload carries the aggregate) and as a script::
 
-    python benchmarks/bench_trend.py
+    python benchmarks/bench_trend.py [--check]
+
+``--check`` turns the write-only trend file into a **regression gate**:
+after aggregating, every figure with a committed floor (the
+:data:`BENCH_FLOORS` table plus any ``min_required`` embedded in a
+bench's own JSON) is compared against its floor, and the run fails if
+any measured speedup has dropped below it — so a perf regression in an
+*old* bench fails CI instead of silently rewriting the trend.
 """
 
 from __future__ import annotations
@@ -30,6 +37,23 @@ BENCH_PR: dict[str, int] = {
     "memsys": 2,
     "dispatch": 3,
     "superblock": 4,
+    "trace_fastpath": 5,
+}
+
+#: Committed speedup floors: dotted figure path -> the minimum each
+#: engine PR's acceptance tied the repo to.  Deliberately the asserted
+#: floors, not the (much higher) measured figures, so noisy CI runners
+#: don't flap the gate.  Floors embedded in a bench's own JSON as
+#: ``min_required`` (next to a ``speedup``) are honoured additionally.
+BENCH_FLOORS: dict[str, dict[str, float]] = {
+    "exec_engine": {"matrix.speedup": 2.0},
+    "memsys": {"untraced.speedup": 1.3, "traced_coverage.speedup": 2.0},
+    "dispatch": {"untraced.speedup": 1.5},
+    "superblock": {"delay_fast_forward.speedup": 2.0},
+    "trace_fastpath": {
+        "traced_coverage.speedup": 2.0,
+        "wait_states.speedup": 2.0,
+    },
 }
 
 #: Keys whose numeric values are trajectory figures.
@@ -56,6 +80,59 @@ def extract_figures(data, prefix: str = "") -> dict[str, float]:
     return figures
 
 
+def extract_embedded_floors(data, prefix: str = "") -> dict[str, float]:
+    """Floors a bench committed to in its own JSON: every dict carrying
+    a ``min_required`` next to a ``speedup`` pins that speedup."""
+    floors: dict[str, float] = {}
+    if isinstance(data, dict):
+        if "speedup" in data and isinstance(
+            data.get("min_required"), (int, float)
+        ):
+            path = f"{prefix}.speedup" if prefix else "speedup"
+            floors[path] = float(data["min_required"])
+        for key, value in data.items():
+            path = f"{prefix}.{key}" if prefix else key
+            floors.update(extract_embedded_floors(value, path))
+    elif isinstance(data, list):
+        for index, value in enumerate(data):
+            floors.update(extract_embedded_floors(value, f"{prefix}[{index}]"))
+    return floors
+
+
+def merged_floors(name: str, data) -> dict[str, float]:
+    """Floors governing one bench: committed :data:`BENCH_FLOORS`
+    entries win over embedded ``min_required`` values when both exist
+    (a quick-mode JSON's lower floor must not weaken the gate);
+    embedded floors add coverage for figures the table does not list."""
+    floors = extract_embedded_floors(data)
+    for figure_path, floor in BENCH_FLOORS.get(name, {}).items():
+        floors[figure_path] = max(floor, floors.get(figure_path, floor))
+    return floors
+
+
+def check_floors(benches: dict) -> list[str]:
+    """Floor violations across aggregated benches (empty = gate holds).
+
+    A floored figure that vanished from a bench's JSON counts as a
+    violation too: a schema change must move its floor explicitly, not
+    dodge the gate."""
+    violations: list[str] = []
+    for name, info in sorted(benches.items()):
+        figures = info["figures"]
+        for path, floor in sorted(info.get("floors", {}).items()):
+            measured = figures.get(path)
+            if measured is None:
+                violations.append(
+                    f"{name}: {path} missing (committed floor {floor}x)"
+                )
+            elif measured < floor:
+                violations.append(
+                    f"{name}: {path} = {measured}x below committed "
+                    f"floor {floor}x"
+                )
+    return violations
+
+
 def build_trend() -> dict:
     benches = {}
     for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
@@ -64,9 +141,11 @@ def build_trend() -> dict:
             continue  # never aggregate our own output
         data = json.loads(path.read_text())
         figures = extract_figures(data)
+        floors = merged_floors(name, data)
         benches[name] = {
             "pr": BENCH_PR.get(name),
             "figures": figures,
+            "floors": floors,
             "peak_speedup": max(figures.values()) if figures else None,
         }
     trajectory = [
@@ -116,6 +195,9 @@ def test_trend_aggregates_every_engine_bench():
         assert benches[name]["figures"], f"{name}: no speedup figures"
     prs = [point["pr"] for point in trend["trajectory"]]
     assert prs == sorted(prs)
+    # The regression gate itself must hold on the freshly measured
+    # numbers (the same check ``--check`` applies in CI).
+    assert check_floors(benches) == []
     shape(
         f"trend: {len(benches)} bench files -> {path.name}, trajectory "
         + " ".join(
@@ -125,7 +207,68 @@ def test_trend_aggregates_every_engine_bench():
     )
 
 
-def main() -> int:
+def test_check_floors_flags_regressions():
+    """The gate logic: figures below (or missing from) their committed
+    floor are violations; healthy figures pass."""
+    benches = {
+        "alpha": {
+            "figures": {"hot.speedup": 4.0, "cold.speedup": 1.1},
+            "floors": {"hot.speedup": 2.0, "cold.speedup": 1.5},
+        },
+        "beta": {
+            "figures": {},
+            "floors": {"gone.speedup": 2.0},
+        },
+        "gamma": {
+            "figures": {"fine.speedup": 9.9},
+            "floors": {"fine.speedup": 2.0},
+        },
+    }
+    violations = check_floors(benches)
+    assert len(violations) == 2
+    assert any("cold.speedup" in violation for violation in violations)
+    assert any("gone.speedup" in violation for violation in violations)
+    assert not any("fine" in violation for violation in violations)
+    assert check_floors({"gamma": benches["gamma"]}) == []
+
+
+def test_embedded_floors_are_extracted():
+    data = {
+        "delay": {"speedup": 5.0, "min_required": 2.0},
+        "nested": {"inner": {"speedup": 1.2, "min_required": 1.5}},
+        "no_floor": {"speedup": 3.0},
+    }
+    floors = extract_embedded_floors(data)
+    assert floors == {"delay.speedup": 2.0, "nested.inner.speedup": 1.5}
+
+
+def test_committed_floors_win_over_weaker_embedded_ones():
+    """A quick-mode JSON embedding min_required=1.5 must not lower the
+    committed 2.0 floor; embedded floors the table doesn't know still
+    apply."""
+    data = {
+        "traced_coverage": {"speedup": 1.7, "min_required": 1.5},
+        "extra": {"speedup": 3.0, "min_required": 2.5},
+    }
+    floors = merged_floors("trace_fastpath", data)
+    assert floors["traced_coverage.speedup"] == 2.0
+    assert floors["extra.speedup"] == 2.5
+    # And the gate therefore flags the 1.7x figure.
+    benches = {
+        "trace_fastpath": {
+            "figures": extract_figures(data),
+            "floors": floors,
+        }
+    }
+    assert any(
+        "traced_coverage.speedup" in violation
+        for violation in check_floors(benches)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    check = "--check" in argv
     path, trend = emit_trend()
     print(f"wrote {path}")
     for point in trend["trajectory"]:
@@ -133,6 +276,25 @@ def main() -> int:
             f"  PR {point['pr']}: {point['bench']} "
             f"peak speedup {point['peak_speedup']}x"
         )
+    if check:
+        violations = check_floors(trend["benches"])
+        # A floored bench whose JSON never materialized (renamed bench,
+        # dropped CI step) must not dodge the gate by absence.
+        violations += [
+            f"{name}: BENCH_{name}.json missing "
+            f"({len(floors)} committed floor(s) unevaluated)"
+            for name, floors in sorted(BENCH_FLOORS.items())
+            if floors and name not in trend["benches"]
+        ]
+        if violations:
+            for violation in violations:
+                print(f"FAIL: {violation}")
+            return 1
+        floored = sum(
+            len(info.get("floors", {}))
+            for info in trend["benches"].values()
+        )
+        print(f"check: {floored} committed floors hold")
     return 0
 
 

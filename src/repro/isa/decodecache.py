@@ -48,6 +48,13 @@ whose entire architectural effect is counting a register down
 fast-forward them analytically.  Like entries, superblocks are pure
 functions of the image bytes: the digest key that shares the cache also
 invalidates every block when the image changes.
+
+Each superblock additionally carries **observation templates** —
+concatenated fetch-event tuples, static retire-trace record templates,
+and fetch-wait-folded cycle totals — so the core can execute blocks at
+full speed under a bus trace, an instruction trace, or wait-state
+charging, replaying a block's observable side effects with bulk ring
+appends instead of per-instruction recording.
 """
 
 from __future__ import annotations
@@ -1031,11 +1038,35 @@ class Superblock:
     flags of the result, and ``spin_cost`` cycles.  ``spin_reg`` holds
     the counter register index (-1 otherwise) so the core can
     fast-forward the loop analytically.
+
+    **Observation templates** (computed once at formation) let the core
+    run a block under a bus trace, an instruction trace, or wait-state
+    charging without dropping to per-instruction execution:
+
+    - ``fetch_events`` concatenates every body entry's replayed fetch
+      events into one tuple, so a traced block emits its whole fetch
+      stream with a single bulk ring append;
+    - ``trace_tmpl`` / ``trace_tmpl_w`` are the body's retire-trace
+      records ``(pc, opcode, mnemonic, cost)`` — all four fields are
+      static for body entries (pure-register: no data waits, never a
+      taken branch), the ``_w`` variant folding each entry's fetch wait
+      states into its cost for cycle-accurate cores;
+    - ``body_cycles_w`` / ``spin_cost_w`` fold the static fetch-wait
+      cycles into the block totals, so under wait-state charging only
+      *data-access* waits are left to charge inline (and only the
+      terminator can incur those).
+
+    The folded variants are correct per cache instance because fetch
+    waits are a segment property baked into each entry at decode time —
+    and :func:`decode_cache_for` keys the registry on the wait-state
+    figure, so differently-waited platforms resolve distinct caches and
+    therefore distinct, correctly folded blocks.
     """
 
     __slots__ = (
-        "start", "body", "body_count", "body_cycles", "terminator",
-        "succ_taken", "succ_fall", "spin_reg", "spin_cost",
+        "start", "body", "body_count", "body_cycles", "body_cycles_w",
+        "terminator", "succ_taken", "succ_fall", "spin_reg", "spin_cost",
+        "spin_cost_w", "fetch_events", "trace_tmpl", "trace_tmpl_w",
     )
 
     def __init__(
@@ -1051,6 +1082,26 @@ class Superblock:
         self.terminator = terminator
         self.succ_taken: Superblock | None = None
         self.succ_fall: Superblock | None = None
+        fetch_events: tuple[tuple[str, int, int, int], ...] = ()
+        for entry in body:
+            fetch_events += entry.fetch_events
+        self.fetch_events = fetch_events
+        self.trace_tmpl = tuple(
+            (entry.pc, entry.opcode, entry.mnemonic, entry.base_cycles)
+            for entry in body
+        )
+        self.trace_tmpl_w = tuple(
+            (
+                entry.pc,
+                entry.opcode,
+                entry.mnemonic,
+                entry.base_cycles + entry.fetch_waits,
+            )
+            for entry in body
+        )
+        self.body_cycles_w = self.body_cycles + sum(
+            entry.fetch_waits for entry in body
+        )
         if (
             not body
             and terminator is not None
@@ -1059,9 +1110,11 @@ class Superblock:
         ):
             self.spin_reg = terminator.r1
             self.spin_cost = terminator.base_cycles + _JUMP_TAKEN_EXTRA
+            self.spin_cost_w = self.spin_cost + terminator.fetch_waits
         else:
             self.spin_reg = -1
             self.spin_cost = 0
+            self.spin_cost_w = 0
 
 #: Opcodes whose ``imm_u`` is the sign-extended-and-masked immediate.
 _SIGNED_IMM_OPS = frozenset({Opcode.ADDI, Opcode.CMPI})

@@ -119,12 +119,17 @@ class Platform(ABC):
     #: When True, the core's block loop executes superblock-at-a-time
     #: (straight-line fusion + chaining across taken branches); False
     #: selects the ISSUE 3 per-instruction hoisted loop, which
-    #: benchmarks use as the pre-superblock baseline.
+    #: benchmarks use as the pre-superblock baseline.  Observed runs
+    #: (instruction trace, bus trace, wait-state charging) stay on the
+    #: superblock path, replaying precomputed block templates in bulk.
     use_superblocks: bool = True
     #: When True, idle ``DJNZ`` self-loops are fast-forwarded
-    #: analytically (clamped to the event horizon).  Self-disables with
-    #: the rest of the hoisted fast path under tracing, wait-state
-    #: charging, fault hooks and ``use_block_run=False``.
+    #: analytically (clamped to the event horizon), including under
+    #: traces and wait-state charging — the warped retire/fetch records
+    #: are synthesized closed-form.  Self-disables only with the block
+    #: engine itself: fault hooks, per-access ``trace_hooks`` and
+    #: ``use_block_run=False`` run the reference per-instruction
+    #: stream.
     use_fast_forward: bool = True
 
     last_soc: SystemOnChip | None = None

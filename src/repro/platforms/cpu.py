@@ -102,6 +102,34 @@ class InstructionTrace:
         if len(self._events) < self._limit:
             self._events.append((pc, opcode, mnemonic, cycles))
 
+    def extend_raw(
+        self, records: "list[tuple] | tuple[tuple, ...]"
+    ) -> None:
+        """Bulk append: identical to one :meth:`record` call per record
+        (records past the limit are dropped), in one ``list.extend``.
+        The superblock engine emits a whole block's retire records from
+        its precomputed template this way."""
+        events = self._events
+        space = self._limit - len(events)
+        if space <= 0:
+            return
+        if len(records) <= space:
+            events.extend(records)
+        else:
+            events.extend(records[:space])
+
+    def extend_repeat(
+        self, record: tuple[int, int, str, int], count: int
+    ) -> None:
+        """Append *record* *count* times — the retire stream of a warped
+        idle spin, synthesized closed-form and clamped to the limit so a
+        huge warp costs at most one buffer's worth of work."""
+        events = self._events
+        space = self._limit - len(events)
+        if space <= 0 or count <= 0:
+            return
+        events.extend([record] * min(count, space))
+
     def raw(self) -> list[tuple[int, int, str, int]]:
         """The event list, oldest first — treat as read-only."""
         return self._events
@@ -169,13 +197,27 @@ class CpuCore:
         #: the ISSUE 3 engine, kept as the benchmark baseline.
         self.use_superblocks = True
         #: Gates the idle-spin fast-forward independently of superblock
-        #: fusion (ablation / debugging).  The fast path also disables
-        #: itself whenever the hoisted loop does: tracing, wait-state
-        #: charging, fault hooks, and ``use_block_run=False`` sessions
-        #: all run the reference per-instruction retire stream.
+        #: fusion (ablation / debugging).  The superblock engine —
+        #: including the warp — runs under instruction traces, bus
+        #: traces and wait-state charging (replaying each block's
+        #: precomputed observation templates in bulk); only fault hooks,
+        #: per-access ``trace_hooks`` callbacks and
+        #: ``use_block_run=False`` sessions still take the reference
+        #: per-instruction retire stream.
         self.use_fast_forward = True
         #: Idle-spin warps performed (telemetry for tests/benchmarks).
         self.ff_warps = 0
+        #: Superblocks executed through the block engine (telemetry:
+        #: nonzero proves the fast path engaged, not a silent fallback).
+        self.sb_blocks = 0
+        #: Bulk observation-template replays performed by the observed
+        #: block engine (body template emissions + warped spin
+        #: syntheses).
+        self.sb_replays = 0
+        #: Legacy per-step fallbacks taken inside the superblock loops
+        #: (RAM execution / uncacheable addresses) — fast-path coverage
+        #: regressions show up here as silent nonzero counts.
+        self.sb_fallback_steps = 0
         #: Cycle deadline of the current :meth:`run` block; peripheral
         #: scheduling shortens it via :meth:`cut_block` when an SFR
         #: write may have moved the next event horizon.
@@ -200,6 +242,9 @@ class CpuCore:
         self.brk_events = []
         self._pending_waits = 0
         self.ff_warps = 0
+        self.sb_blocks = 0
+        self.sb_replays = 0
+        self.sb_fallback_steps = 0
         self._sb_resume = None
         self._sb_epoch += 1
 
@@ -583,11 +628,17 @@ class CpuCore:
         ``instructions_retired`` ceiling) is reached, or — checked after
         each retired instruction, exactly where the per-step loop
         ticked peripherals — once *cycle_budget* cycles have been
-        consumed or :meth:`cut_block` fired.  The per-step invariants
-        (trace active, wait-state charging, bus observation, cache
-        attached, fault hook) are hoisted out of the per-instruction
-        path: when none applies, the loop is interrupt-check, cache
-        probe and one executor call per instruction.
+        consumed or :meth:`cut_block` fired.  Engine selection: the
+        superblock loops run whenever a decode cache and the executor
+        table are available and no fault hook or per-access
+        ``trace_hooks`` callback is armed — observation (instruction
+        trace, bus trace buffer, wait-state charging) selects the
+        template-replaying observed variant instead of disabling the
+        engine.  With ``use_superblocks=False``, observation still
+        drops to the per-step reference loop (the pre-superblock
+        baseline), while the unobserved case keeps the per-instruction
+        hoisted loop: interrupt check, cache probe and one executor
+        call per instruction.
         """
         if self.halted:
             return 0
@@ -602,12 +653,21 @@ class CpuCore:
             cache is not None
             and self.use_exec_table
             and self.alu_fault_hook is None
-            and self.trace is None
-            and not self.charge_wait_states
-            and bus.trace_buffer is None
             and not bus.trace_hooks
         )
-        if not hoistable:
+        observed = (
+            self.trace is not None
+            or self.charge_wait_states
+            or bus.trace_buffer is not None
+        )
+        if hoistable and self.use_superblocks:
+            if observed:
+                self._run_superblocks_observed(limit)
+            else:
+                self._run_superblocks(limit)
+            return self.cycles - start_cycles
+
+        if not hoistable or observed:
             while not self.halted:
                 if limit is not None and self.instructions_retired >= limit:
                     break
@@ -615,10 +675,6 @@ class CpuCore:
                 deadline = self._block_deadline
                 if deadline is not None and self.cycles >= deadline:
                     break
-            return self.cycles - start_cycles
-
-        if self.use_superblocks:
-            self._run_superblocks(limit)
             return self.cycles - start_cycles
 
         # Hoisted hot loop: every iteration is at most an interrupt
@@ -680,6 +736,12 @@ class CpuCore:
         block deadline (the SoC's event horizon) and the retire limit
         so interrupt delivery and stop points are byte-identical.  The
         final, not-taken iteration always executes normally.
+
+        :meth:`_run_superblocks_observed` is this loop plus bulk
+        observation-template replay, kept separate so the unobserved
+        hot path carries no per-block observation branches.  Any
+        change to the control flow here (warp clamps, stop rules,
+        chaining, fallback handling) must be mirrored there.
         """
         regs = self.regs
         psw = regs.psw
@@ -703,11 +765,13 @@ class CpuCore:
                 if sb is None:
                     # RAM execution / trap-prone address: one reference
                     # step through the legacy bus-fetch path.
+                    self.sb_fallback_steps += 1
                     self._step_uncached(pc, self.cycles)
                     deadline = self._block_deadline
                     if deadline is not None and self.cycles >= deadline:
                         break
                     continue
+            self.sb_blocks += 1
             if fast_forward and sb.spin_reg >= 0:
                 counter = regs.data[sb.spin_reg]
                 warp = (counter - 1) & WORD_MASK
@@ -786,6 +850,213 @@ class CpuCore:
                     else term.base_cycles
                 )
                 cache.hits += 1
+                # Chain: ride the cached successor when it matches the
+                # live pc, otherwise resolve and memoise it.
+                succ = sb.succ_taken if taken else sb.succ_fall
+                next_pc = regs.pc
+                if succ is None or succ.start != next_pc:
+                    succ = block_at(next_pc)
+                    if succ is not None:
+                        if taken:
+                            sb.succ_taken = succ
+                        else:
+                            sb.succ_fall = succ
+                sb = succ
+            deadline = self._block_deadline
+            if deadline is not None and self.cycles >= deadline:
+                break
+        # Persist the predicted chain for the next block run — unless a
+        # cut_block() mid-run flushed it (the cut wins: re-resolve).
+        if self._sb_epoch == epoch:
+            self._sb_resume = None if sb is None else (cache, sb)
+
+    def _run_superblocks_observed(self, limit: int | None) -> None:
+        """Superblock execution under observation: an instruction trace,
+        a bus trace buffer and/or wait-state charging is active (no
+        fault hook, no per-access ``trace_hooks``).
+
+        Retires the same block-at-a-time stream as
+        :meth:`_run_superblocks`, replaying each block's precomputed
+        observation templates in bulk: the body's concatenated fetch
+        events land in the bus trace through one wrap-correct slice
+        append, its retire-trace records come from the block's static
+        template (cost = base cycles, with fetch waits folded in the
+        cycle-accurate variant), and a warped ``DJNZ`` spin synthesizes
+        its repeated fetch/retire records closed-form, clamped to each
+        ring's capacity.  Fetch wait states are folded into the block
+        cycle totals at formation; only data-access waits are charged
+        inline (and only terminators can incur them — body entries are
+        pure-register).
+
+        Byte-identical to the per-step reference by construction: the
+        cost formula, stop rules and event order all match
+        :meth:`step`.  The one asymmetry is wait debt left by an
+        interrupt entry (vector read + frame pushes): ``step`` folds it
+        into the next instruction's cost, which a static template
+        cannot carry, so that first instruction retires through the
+        single-entry path below.
+
+        Control flow deliberately mirrors :meth:`_run_superblocks`
+        (kept separate so the unobserved hot path pays no observation
+        branches) — changes to either loop's warp clamps, stop rules,
+        chaining or fallback handling must land in both.
+        """
+        regs = self.regs
+        psw = regs.psw
+        intc = self.intc
+        cache = self.decode_cache
+        block_at = cache.block_at
+        fast_forward = self.use_fast_forward
+        epoch = self._sb_epoch
+        resume = self._sb_resume
+        sb = resume[1] if resume is not None and resume[0] is cache else None
+        bus = self.bus
+        bus_trace = bus.trace_buffer
+        trace = self.trace
+        charge = self.charge_wait_states
+        while not self.halted:
+            retired = self.instructions_retired
+            if limit is not None and retired >= limit:
+                break
+            self._pending_waits = 0
+            if intc is not None and psw.interrupt_enable:
+                self._check_interrupts()
+            pc = regs.pc
+            if sb is None or sb.start != pc:
+                sb = block_at(pc)
+                if sb is None:
+                    # RAM execution / trap-prone address: one reference
+                    # step (it records its own trace entry and charges
+                    # its own waits, interrupt-entry debt included).
+                    self.sb_fallback_steps += 1
+                    self._step_uncached(pc, self.cycles)
+                    deadline = self._block_deadline
+                    if deadline is not None and self.cycles >= deadline:
+                        break
+                    continue
+            self.sb_blocks += 1
+            pending = self._pending_waits
+            if fast_forward and sb.spin_reg >= 0 and not pending:
+                counter = regs.data[sb.spin_reg]
+                warp = (counter - 1) & WORD_MASK
+                if limit is not None and warp > limit - retired:
+                    warp = limit - retired
+                cost = sb.spin_cost_w if charge else sb.spin_cost
+                deadline = self._block_deadline
+                if deadline is not None:
+                    room = deadline - self.cycles
+                    # First iteration count whose retire lands at or
+                    # past the deadline — exactly where per-instruction
+                    # stepping stops.
+                    boundary = -(-room // cost) if room > 0 else 0
+                    if warp > boundary:
+                        warp = boundary
+                if warp > 0:
+                    term = sb.terminator
+                    value = (counter - warp) & WORD_MASK
+                    regs.data[sb.spin_reg] = value
+                    psw.set_logic_flags(value)
+                    self.instructions_retired = retired + warp
+                    self.cycles += warp * cost
+                    cache.hits += warp
+                    self.ff_warps += 1
+                    self.sb_replays += 1
+                    if bus_trace is not None:
+                        bus.access_count += warp * len(term.fetch_events)
+                        bus_trace.extend_repeat(term.fetch_events, warp)
+                    if trace is not None:
+                        trace.extend_repeat(
+                            (term.pc, term.opcode, term.mnemonic, cost),
+                            warp,
+                        )
+                    if deadline is not None and self.cycles >= deadline:
+                        break
+                    continue  # remaining iterations retire normally
+            body = sb.body
+            if body:
+                deadline = self._block_deadline
+                body_cycles = sb.body_cycles_w if charge else sb.body_cycles
+                if (
+                    not pending
+                    and (limit is None or retired + sb.body_count <= limit)
+                    and (
+                        deadline is None
+                        or self.cycles + body_cycles < deadline
+                    )
+                ):
+                    for entry in body:
+                        entry.exec(self, entry)
+                    retired += sb.body_count
+                    self.instructions_retired = retired
+                    self.cycles += body_cycles
+                    cache.hits += sb.body_count
+                    self.sb_replays += 1
+                    if bus_trace is not None:
+                        bus.access_count += len(sb.fetch_events)
+                        bus_trace.extend_raw(sb.fetch_events)
+                    if trace is not None:
+                        trace.extend_raw(
+                            sb.trace_tmpl_w if charge else sb.trace_tmpl
+                        )
+                else:
+                    # Window narrower than the body, or interrupt-entry
+                    # wait debt the static template cannot carry: retire
+                    # one instruction the per-step way and re-resolve.
+                    entry = body[0]
+                    if charge:
+                        self._pending_waits = pending + entry.fetch_waits
+                    if bus_trace is not None:
+                        bus.access_count += len(entry.fetch_events)
+                        bus_trace.extend_raw(entry.fetch_events)
+                    entry.exec(self, entry)
+                    cost = entry.base_cycles + self._pending_waits
+                    self.instructions_retired = retired + 1
+                    self.cycles += cost
+                    cache.hits += 1
+                    if trace is not None:
+                        trace.record(
+                            entry.pc, entry.opcode, entry.mnemonic, cost
+                        )
+                    sb = None
+                    if deadline is not None and self.cycles >= deadline:
+                        break
+                    continue
+                if limit is not None and retired >= limit:
+                    break  # retire ceiling reached before the terminator
+            term = sb.terminator
+            if term is None:
+                # Next address not cacheable: resolve it at the top of
+                # the loop (legacy step or a fresh block).
+                sb = None
+                deadline = self._block_deadline
+                if deadline is not None and self.cycles >= deadline:
+                    break
+                continue
+            # Terminator: per-instruction, step()-equivalent.  Data
+            # accesses route through the traced bus (recording their
+            # own events and charging their own waits); fetch events
+            # are replayed first, exactly as step() emits them.
+            if charge:
+                self._pending_waits += term.fetch_waits
+            if bus_trace is not None:
+                bus.access_count += len(term.fetch_events)
+                bus_trace.extend_raw(term.fetch_events)
+            try:
+                taken = term.exec(self, term)
+            except BusError:
+                self.take_trap(TRAP_BUS_ERROR, term.next_pc)
+                self.cycles += 2
+                self.instructions_retired += 1
+                sb = None
+            else:
+                self.instructions_retired += 1
+                cost = term.base_cycles + self._pending_waits
+                if taken:
+                    cost += _JUMP_TAKEN_EXTRA
+                self.cycles += cost
+                cache.hits += 1
+                if trace is not None:
+                    trace.record(term.pc, term.opcode, term.mnemonic, cost)
                 # Chain: ride the cached successor when it matches the
                 # live pc, otherwise resolve and memoise it.
                 succ = sb.succ_taken if taken else sb.succ_fall

@@ -36,7 +36,15 @@ fusion, chaining across taken branches, and analytic fast-forward of
 idle ``DJNZ`` spins — see :mod:`repro.isa.decodecache` and
 :meth:`CpuCore._run_superblocks`); ``use_superblocks=False`` selects
 the per-instruction hoisted loop and ``use_fast_forward=False`` just
-the warp, both for ablation benchmarks.
+the warp, both for ablation benchmarks.  Observed runs — instruction
+traces, bus-trace recording, wait-state charging — take the same
+superblock path through :meth:`CpuCore._run_superblocks_observed`,
+which replays each block's precomputed fetch-event and retire-record
+templates in bulk, so coverage and cycle-accurate runs no longer drop
+to per-instruction execution.  :meth:`ExecutionSession.stats` exposes
+the fast-path telemetry (warps, blocks executed, template replays,
+legacy fallbacks) so silent fast-path coverage regressions are
+visible to tests and benchmarks.
 
 ``Platform.run`` now delegates to a throwaway session, so its
 fresh-device-per-call semantics (``last_soc``/``last_cpu`` inspection)
@@ -95,6 +103,29 @@ class ExecutionSession:
             else use_fast_forward
         )
         self.runs_completed = 0
+
+    def stats(self) -> dict:
+        """Fast-path telemetry of the most recent :meth:`run`.
+
+        ``ff_warps`` counts analytic idle-spin warps, ``sb_blocks``
+        superblocks executed through the block engine, ``sb_replays``
+        bulk observation-template replays, and ``sb_fallback_steps``
+        legacy per-step fallbacks taken inside the superblock loops —
+        a nonzero fallback count on a ROM-resident workload means the
+        fast path silently lost coverage.  ``decode_hits`` /
+        ``decode_misses`` report the shared (cross-run, cross-platform)
+        decode cache.
+        """
+        cpu = self.cpu
+        cache = cpu.decode_cache
+        return {
+            "ff_warps": cpu.ff_warps,
+            "sb_blocks": cpu.sb_blocks,
+            "sb_replays": cpu.sb_replays,
+            "sb_fallback_steps": cpu.sb_fallback_steps,
+            "decode_hits": 0 if cache is None else cache.hits,
+            "decode_misses": 0 if cache is None else cache.misses,
+        }
 
     def run(
         self,

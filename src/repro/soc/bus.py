@@ -142,6 +142,93 @@ class BusTrace:
             self._head = (self._head + 1) % capacity
             self.dropped += 1
 
+    def extend_raw(
+        self, events: "list[tuple] | tuple[tuple, ...]"
+    ) -> None:
+        """Bulk append: semantically identical to calling :meth:`record`
+        once per event, but O(1) Python-level operations — one
+        ``list.extend`` on the unbounded/filling path, at most two slice
+        assignments on the wrap path.  The superblock engine uses this
+        to emit a whole block's replayed fetch events in one shot."""
+        n = len(events)
+        if n == 0:
+            return
+        evs = self._events
+        capacity = self._capacity
+        if capacity is None:
+            evs.extend(events)
+            return
+        fill = capacity - len(evs)
+        if fill:
+            if fill >= n:
+                evs.extend(events)
+                return
+            evs.extend(events[:fill])
+            events = events[fill:]
+            n -= fill
+        # Ring is full: overwrite n events starting at the head.
+        head = self._head
+        self.dropped += n
+        if n >= capacity:
+            # Only the last ring's worth survives; everything earlier
+            # is a pure head rotation plus the dropped count above.
+            tail = events[n - capacity :]
+            head = (head + n) % capacity
+            split = capacity - head
+            evs[head:] = tail[:split]
+            evs[:head] = tail[split:]
+            self._head = head
+        else:
+            first = capacity - head
+            if first >= n:
+                evs[head : head + n] = events
+            else:
+                evs[head:] = events[:first]
+                evs[: n - first] = events[first:]
+            self._head = (head + n) % capacity
+
+    def extend_repeat(
+        self, events: tuple[tuple, ...], count: int
+    ) -> None:
+        """Append *events* repeated *count* times — the access stream a
+        warped idle spin would have produced one iteration at a time.
+        Identical to ``count`` :meth:`record` loops over *events*, but
+        clamped so a huge warp costs at most one ring's worth of
+        work: with a capacity, only the surviving tail window is
+        synthesized; unbounded buffers take one C-level repetition."""
+        unit = len(events)
+        if unit == 0 or count <= 0:
+            return
+        capacity = self._capacity
+        evs = self._events
+        total = unit * count
+        if capacity is None:
+            evs.extend(events * count)
+            return
+        if total <= 2 * capacity:
+            self.extend_raw(events * count)
+            return
+        # Huge warp: all but the final ring's worth of events is pure
+        # head rotation + dropped accounting.  Synthesize the surviving
+        # window (the last *capacity* events of the repeated stream) and
+        # lay it down rotated so slot order matches a per-event replay.
+        space = capacity - len(evs)
+        if space > 0:
+            head0 = 0
+            overwrites = total - space
+        else:
+            head0 = self._head
+            overwrites = total
+        new_head = (head0 + overwrites) % capacity
+        start = total - capacity  # stream index of the oldest survivor
+        offset = start % unit
+        reps = -(-(capacity + offset) // unit)
+        window = (list(events) * reps)[offset : offset + capacity]
+        split = capacity - new_head
+        self._events = window[split:] + window[:split]
+        self._head = new_head
+        self.dropped += overwrites
+
     def raw(self) -> list[tuple[str, int, int, int]]:
         """Events oldest-first as raw tuples.  When the buffer has not
         wrapped this is the live list — treat it as read-only."""
@@ -368,8 +455,7 @@ class Bus:
         self.access_count += len(events)
         trace = self.trace_buffer
         if trace is not None:
-            for event in events:
-                trace.record(*event)
+            trace.extend_raw(events)
         if self.trace_hooks:
             for event in events:
                 access = BusAccess(*event)

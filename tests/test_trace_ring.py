@@ -1,0 +1,192 @@
+"""Bulk trace-ring append equivalence (ISSUE 5).
+
+The observed superblock engine emits whole blocks (and warped spins)
+into the trace rings through ``extend_raw`` / ``extend_repeat`` instead
+of one ``record`` call per event.  These property tests pin the
+contract that makes that sound: for every capacity and every chunking
+of an event stream, the bulk APIs leave the ring in **exactly** the
+state a per-event ``record`` loop would — same drained tuples, same
+length, same dropped count — across wrap boundaries, capacity edges
+and the closed-form huge-warp synthesis.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.platforms.cpu import InstructionTrace
+from repro.soc.bus import BusTrace
+
+
+def bus_event(i: int) -> tuple[str, int, int, int]:
+    return ("read" if i % 3 else "write", 0x1000 + 4 * i, 4, i)
+
+
+def retire_event(i: int) -> tuple[int, int, str, int]:
+    return (0x2000 + 4 * i, i % 80, f"OP{i % 7}", 1 + i % 4)
+
+
+def chunkings(total: int, seed: int) -> list[list[int]]:
+    """A few deterministic ways to split *total* events into chunks."""
+    rng = random.Random(seed)
+    random_chunks = []
+    remaining = total
+    while remaining:
+        take = rng.randint(1, remaining)
+        random_chunks.append(take)
+        remaining -= take
+    return [[total], [1] * total, random_chunks]
+
+
+# ---------------------------------------------------------------------------
+# BusTrace: ring semantics (drop-oldest wrap)
+# ---------------------------------------------------------------------------
+
+class TestBusTraceExtendRaw:
+    @pytest.mark.parametrize("capacity", [None, 1, 2, 3, 5, 7, 16])
+    @pytest.mark.parametrize("total", [0, 1, 2, 3, 5, 8, 21, 40])
+    def test_matches_per_event_record(self, capacity, total):
+        events = [bus_event(i) for i in range(total)]
+        for chunks in chunkings(total, seed=total * 31 + (capacity or 0)):
+            reference = BusTrace(capacity)
+            for event in events:
+                reference.record(*event)
+            bulk = BusTrace(capacity)
+            offset = 0
+            for size in chunks:
+                bulk.extend_raw(events[offset : offset + size])
+                offset += size
+            assert bulk.raw() == reference.raw(), (capacity, chunks)
+            assert len(bulk) == len(reference)
+            assert bulk.dropped == reference.dropped
+
+    @pytest.mark.parametrize("capacity", [2, 3, 5, 8])
+    def test_bulk_after_partial_fill_and_wrap(self, capacity):
+        """Chunks landing exactly on the fill edge, one past it, and a
+        chunk longer than the whole ring."""
+        for prefill in range(0, capacity + 1):
+            for chunk in (1, capacity - 1, capacity, capacity + 1,
+                          3 * capacity + 2):
+                if chunk <= 0:
+                    continue
+                events = [bus_event(i) for i in range(prefill + chunk)]
+                reference = BusTrace(capacity)
+                bulk = BusTrace(capacity)
+                for event in events[:prefill]:
+                    reference.record(*event)
+                    bulk.record(*event)
+                for event in events[prefill:]:
+                    reference.record(*event)
+                bulk.extend_raw(events[prefill:])
+                assert bulk.raw() == reference.raw(), (prefill, chunk)
+                assert bulk.dropped == reference.dropped
+
+    def test_interleaves_with_record(self):
+        reference = BusTrace(5)
+        bulk = BusTrace(5)
+        events = [bus_event(i) for i in range(17)]
+        for event in events:
+            reference.record(*event)
+        bulk.extend_raw(events[:3])
+        bulk.record(*events[3])
+        bulk.extend_raw(events[4:11])
+        bulk.record(*events[11])
+        bulk.extend_raw(events[12:])
+        assert bulk.raw() == reference.raw()
+        assert bulk.dropped == reference.dropped
+
+
+class TestBusTraceExtendRepeat:
+    @pytest.mark.parametrize("capacity", [None, 1, 2, 3, 5, 7])
+    @pytest.mark.parametrize("unit", [1, 2, 3])
+    @pytest.mark.parametrize("count", [1, 2, 5, 9, 50])
+    def test_matches_repeated_record(self, capacity, unit, count):
+        pattern = tuple(bus_event(i) for i in range(unit))
+        for prefill in (0, 1, 3):
+            prefix = [bus_event(100 + i) for i in range(prefill)]
+            reference = BusTrace(capacity)
+            bulk = BusTrace(capacity)
+            for event in prefix:
+                reference.record(*event)
+                bulk.record(*event)
+            for _ in range(count):
+                for event in pattern:
+                    reference.record(*event)
+            bulk.extend_repeat(pattern, count)
+            assert bulk.raw() == reference.raw(), (capacity, unit, count)
+            assert bulk.dropped == reference.dropped
+
+    @pytest.mark.parametrize("capacity", [1, 2, 3, 7, 64])
+    @pytest.mark.parametrize("unit", [1, 2, 3])
+    def test_huge_warp_closed_form(self, capacity, unit):
+        """A warp far larger than the ring must land the same final
+        state as one-at-a-time recording while only synthesizing one
+        ring's worth of events."""
+        count = 100_003  # not a multiple of any unit/capacity in use
+        pattern = tuple(bus_event(i) for i in range(unit))
+        bulk = BusTrace(capacity)
+        bulk.record(*bus_event(999))
+        bulk.extend_repeat(pattern, count)
+        # Closed-form reference: replay only the arithmetic.
+        reference = BusTrace(capacity)
+        reference.record(*bus_event(999))
+        for _ in range(count):
+            for event in pattern:
+                reference.record(*event)
+        assert bulk.raw() == reference.raw()
+        assert bulk.dropped == reference.dropped
+        assert len(bulk) == len(reference)
+
+    def test_huge_warp_work_is_bounded(self):
+        """The synthesized buffer never exceeds the ring capacity —
+        i.e. a million-iteration warp cannot allocate a million
+        tuples."""
+        trace = BusTrace(8)
+        trace.extend_repeat((bus_event(0), bus_event(1)), 1_000_000)
+        assert len(trace._events) == 8
+        assert trace.dropped == 2_000_000 - 8
+
+
+# ---------------------------------------------------------------------------
+# InstructionTrace: bounded-log semantics (drop-newest at the limit)
+# ---------------------------------------------------------------------------
+
+class TestInstructionTraceBulk:
+    @pytest.mark.parametrize("limit", [1, 2, 5, 10, 100])
+    @pytest.mark.parametrize("total", [0, 1, 4, 9, 23, 120])
+    def test_extend_raw_matches_per_event_record(self, limit, total):
+        events = [retire_event(i) for i in range(total)]
+        for chunks in chunkings(total, seed=total * 13 + limit):
+            reference = InstructionTrace(limit)
+            for event in events:
+                reference.record(*event)
+            bulk = InstructionTrace(limit)
+            offset = 0
+            for size in chunks:
+                bulk.extend_raw(events[offset : offset + size])
+                offset += size
+            assert bulk.raw() == reference.raw(), (limit, chunks)
+            assert len(bulk) == len(reference)
+
+    @pytest.mark.parametrize("limit", [1, 3, 10])
+    @pytest.mark.parametrize("count", [1, 2, 9, 1_000_000])
+    def test_extend_repeat_clamps_at_limit(self, limit, count):
+        record = retire_event(42)
+        reference = InstructionTrace(limit)
+        for _ in range(min(count, limit + 5)):
+            reference.record(*record)
+        bulk = InstructionTrace(limit)
+        bulk.extend_repeat(record, count)
+        assert bulk.raw() == reference.raw()
+        # Work (and memory) is bounded by the limit, not the count.
+        assert len(bulk._events) <= limit
+
+    def test_views_survive_bulk_append(self):
+        trace = InstructionTrace(10)
+        trace.extend_raw([retire_event(i) for i in range(4)])
+        assert trace[1].pc == retire_event(1)[0]
+        assert [entry.mnemonic for entry in trace] == [
+            retire_event(i)[2] for i in range(4)
+        ]
