@@ -1,0 +1,278 @@
+"""Batched lock-step engine benchmarks (ISSUE 6).
+
+The regression matrix keeps re-running the *same image* across lanes
+that only differ in visibility (platform matrix) or in a few RAM words
+(stimulus sweep).  The batched interpreter
+(:class:`~repro.platforms.session.BatchSession`) executes one engine
+pass for the whole cohort and materialises per-lane verdicts at sync
+points, peeling true divergence onto the scalar oracle.  This bench
+records the acceptance numbers ISSUE 6 ties the engine to:
+
+- wall-clock on a **32-cell identical matrix** (one image, 32 golden
+  lanes) vs 32 pooled scalar session runs, asserting the >= 4x floor
+  (>= 3x in ``--quick`` mode) — with per-lane byte-identity (status,
+  result words, retire traces, cycle counts) checked *before* any
+  speed claim;
+- a **stimulus sweep** with forced divergence: 32 lanes whose stimulus
+  word splits them over the pass/fail branch, asserting byte-identity,
+  the expected peel accounting, and the per-lane divergence rows the
+  batch engine exposes;
+- batch telemetry (``batch_lanes``, ``batch_steps``, ``peel_events``
+  plus the PR 5 engine counters) so a silent de-batching (every lane
+  quietly peeling to scalar) fails the bench even if wall-clock
+  happens to survive.
+
+Emits ``BENCH_batch_engine.json`` next to the repository root.  Also
+runnable as a script: ``python benchmarks/bench_batch_engine.py
+[--quick]`` — the CI perf-smoke job uses ``--quick`` and fails the
+build if the floor or any byte-identity assertion trips.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.assembler.assembler import Assembler
+from repro.assembler.linker import Linker
+from repro.core.targets import TARGET_GOLDEN
+from repro.core.workloads import make_delay_environment, make_nvm_environment
+from repro.platforms import BatchSession, ExecutionSession, make_platform
+from repro.soc.derivatives import SC88A
+from repro.soc.device import FAIL_MAGIC, PASS_MAGIC
+
+from conftest import shape
+from _harness import BenchResults, best_of, strip_result as strip
+
+RESULTS = BenchResults("batch_engine")
+
+MEMORY_MAP = SC88A.memory_map()
+#: A RAM word no workload touches (far from data, results and stack).
+STIM_ADDR = 0x1000_8000
+
+LANES = 32
+
+#: Full (pytest/CI bench) and quick (perf-smoke gate) configurations.
+FULL = {
+    "environments": ("nvm", "delay"),
+    "repeats": 3,
+    "min_speedup": 4.0,
+    "mode": "full",
+}
+QUICK = {
+    "environments": ("nvm",),
+    "repeats": 2,
+    "min_speedup": 3.0,
+    "mode": "quick",
+}
+
+
+def matrix_images(config):
+    """One representative cell per environment named in *config*."""
+    environments = {
+        "nvm": lambda: make_nvm_environment(num_tests=1),
+        "delay": lambda: make_delay_environment(
+            delay_ticks=(20_000,), spin_loops=(50_000,)
+        ),
+    }
+    images = []
+    for name in config["environments"]:
+        env = environments[name]()
+        cell = sorted(env.cells)[0]
+        images.append(
+            (f"{name}/{cell}", env.build_image(cell, SC88A, TARGET_GOLDEN).image)
+        )
+    return images
+
+
+def build_branch_image():
+    """Pass/fail branches on the stimulus word (0 -> PASS)."""
+    source = f"""\
+_main:
+    LOAD a4, {STIM_ADDR:#x}
+    LD.W d4, [a4]
+    CMPI d4, 0
+    JNZ lane_fail
+    LOAD d0, {PASS_MAGIC:#x}
+    STORE [{MEMORY_MAP.result_address:#x}], d0
+    HALT
+lane_fail:
+    LOAD d0, {FAIL_MAGIC:#x}
+    STORE [{MEMORY_MAP.result_address:#x}], d0
+    HALT
+"""
+    obj = Assembler().assemble_source(source, "bench_batch.asm")
+    return Linker(
+        text_base=MEMORY_MAP.text_base, data_base=MEMORY_MAP.data_base
+    ).link([obj])
+
+
+def scalar_matrix_run(session, image, stimuli):
+    """N pooled scalar runs — what the serial executor does per lane."""
+    return [session.run(image, stimulus=stimulus) for stimulus in stimuli]
+
+
+def run_identical_matrix(config) -> dict:
+    """The acceptance number: a 32-cell identical matrix through one
+    lock-step pass vs 32 pooled scalar runs, byte-identical first."""
+    per_image = {}
+    total_batch = 0.0
+    total_scalar = 0.0
+    for label, image in matrix_images(config):
+        batch = BatchSession(
+            SC88A, [make_platform("golden") for _ in range(LANES)]
+        )
+        scalar = ExecutionSession(make_platform("golden"), SC88A)
+        stimuli = [None] * LANES
+        # Warm the shared decode cache for both engines.
+        batch.run_batch(image)
+        scalar.run(image)
+
+        # Timing covers execution + per-lane verdict materialisation;
+        # the strip-to-tuples comparison below is test tooling, not
+        # engine work, and runs outside the stopwatch on both sides.
+        batch_elapsed, batch_results = best_of(
+            config["repeats"], lambda: batch.run_batch(image)
+        )
+        scalar_elapsed, scalar_results = best_of(
+            config["repeats"],
+            lambda: scalar_matrix_run(scalar, image, stimuli),
+        )
+        # Byte-identity before any speed claim: every lane against its
+        # own scalar run (status, result words, traces, cycle counts).
+        assert [strip(r) for r in batch_results] == [
+            strip(r) for r in scalar_results
+        ], label
+        stats = batch.stats()
+        assert stats["batch_lanes"] == LANES, label
+        assert stats["batch_steps"] > 0, label
+        assert stats["peel_events"] == 0, label
+        assert stats["sb_blocks"] > 0, label
+        total_batch += batch_elapsed
+        total_scalar += scalar_elapsed
+        per_image[label] = {
+            "lanes": LANES,
+            "batch_ms": round(batch_elapsed * 1e3, 3),
+            "scalar_ms": round(scalar_elapsed * 1e3, 3),
+            "speedup": round(scalar_elapsed / batch_elapsed, 2),
+            "batch_steps": stats["batch_steps"],
+            "sb_blocks": stats["sb_blocks"],
+        }
+    return {
+        "per_image": per_image,
+        "speedup": round(total_scalar / total_batch, 2),
+        "min_required": config["min_speedup"],
+        "mode": config["mode"],
+    }
+
+
+def run_divergence_sweep(config) -> dict:
+    """Stimulus sweep with forced divergence: lanes whose stimulus word
+    is nonzero peel at the divergent load; everything byte-identical."""
+    image = build_branch_image()
+    stimuli = [
+        None if lane % 4 == 0 else {STIM_ADDR: lane % 4}
+        for lane in range(LANES)
+    ]
+    expected_peels = sum(1 for s in stimuli if s)
+
+    batch = BatchSession(
+        SC88A, [make_platform("golden") for _ in range(LANES)]
+    )
+    scalar = ExecutionSession(make_platform("golden"), SC88A)
+    batch.run_batch(image, stimuli=stimuli)
+    scalar.run(image)
+
+    batch_elapsed, batch_results = best_of(
+        config["repeats"],
+        lambda: batch.run_batch(image, stimuli=stimuli),
+    )
+    scalar_elapsed, scalar_results = best_of(
+        config["repeats"],
+        lambda: scalar_matrix_run(scalar, image, stimuli),
+    )
+    assert [strip(r) for r in batch_results] == [
+        strip(r) for r in scalar_results
+    ]
+    stats = batch.stats()
+    assert stats["peel_events"] == expected_peels
+    # The batch engine's own divergence data: every peeled lane's rows
+    # differ from the leader's (they took the other branch).
+    divergences = batch.lane_divergences()
+    diverging = {lane for lane, rows in divergences.items() if rows}
+    peeled = {
+        lane.index for lane in batch.last_lanes if lane.peeled
+    }
+    assert peeled <= diverging
+    return {
+        "lanes": LANES,
+        "peel_events": stats["peel_events"],
+        "diverging_lanes": len(diverging),
+        "batch_ms": round(batch_elapsed * 1e3, 3),
+        "scalar_ms": round(scalar_elapsed * 1e3, 3),
+        "batch_vs_scalar": round(scalar_elapsed / batch_elapsed, 2),
+        "mode": config["mode"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (full configuration)
+# ---------------------------------------------------------------------------
+
+def test_identical_matrix_speedup():
+    numbers = run_identical_matrix(FULL)
+    RESULTS["matrix"] = numbers
+    shape(
+        f"batch_engine: 32-cell identical matrix {numbers['speedup']:.2f}x "
+        "vs 32 pooled scalar runs (byte-identical per-lane results)"
+    )
+    assert numbers["speedup"] >= FULL["min_speedup"], (
+        f"batch speedup {numbers['speedup']:.2f}x below "
+        f"{FULL['min_speedup']}x target"
+    )
+
+
+def test_divergence_sweep_and_emit_json():
+    numbers = run_divergence_sweep(FULL)
+    RESULTS["divergence_sweep"] = numbers
+    shape(
+        f"batch_engine: stimulus sweep peeled {numbers['peel_events']}/"
+        f"{numbers['lanes']} lanes at the divergent load, byte-identical"
+    )
+    path = RESULTS.emit()
+    shape(f"batch_engine: wrote {path.name}")
+
+
+# ---------------------------------------------------------------------------
+# script mode: the CI perf-smoke gate
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    config = QUICK if quick else FULL
+    try:
+        matrix = run_identical_matrix(config)
+        sweep = run_divergence_sweep(config)
+    except AssertionError as failure:
+        print(f"FAIL: {failure}")
+        return 1
+    RESULTS["matrix"] = matrix
+    RESULTS["divergence_sweep"] = sweep
+    path = RESULTS.emit()
+    print(
+        f"batch_engine[{config['mode']}]: 32-lane matrix "
+        f"{matrix['speedup']}x (floor {config['min_speedup']}x), "
+        f"sweep peeled {sweep['peel_events']}/{sweep['lanes']} lanes "
+        f"byte-identically -> {path.name}"
+    )
+    if matrix["speedup"] < config["min_speedup"]:
+        print(
+            f"FAIL: matrix speedup {matrix['speedup']}x below the "
+            f"{config['min_speedup']}x floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

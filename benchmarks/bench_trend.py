@@ -38,6 +38,7 @@ BENCH_PR: dict[str, int] = {
     "dispatch": 3,
     "superblock": 4,
     "trace_fastpath": 5,
+    "batch_engine": 6,
 }
 
 #: Committed speedup floors: dotted figure path -> the minimum each
@@ -54,6 +55,7 @@ BENCH_FLOORS: dict[str, dict[str, float]] = {
         "traced_coverage.speedup": 2.0,
         "wait_states.speedup": 2.0,
     },
+    "batch_engine": {"matrix.speedup": 4.0},
 }
 
 #: Keys whose numeric values are trajectory figures.

@@ -246,9 +246,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_regress.add_argument(
         "--executor",
-        choices=["auto", "serial", "thread", "process"],
+        choices=["auto", "serial", "thread", "process", "batch"],
         default="auto",
-        help="how matrix entries execute (auto: process pool when --jobs > 1)",
+        help=(
+            "how matrix entries execute (auto: process pool when "
+            "--jobs > 1; batch: lock-step lanes across each cell's "
+            "platform matrix)"
+        ),
     )
     p_regress.add_argument(
         "--cache-dir",

@@ -53,6 +53,11 @@ class RegressionReport:
     #: result cache (incremental regression bookkeeping).
     executed_runs: int = 0
     cached_runs: int = 0
+    #: Runs materialised from a lock-step batch cohort, and runs the
+    #: batch engine peeled off to the scalar oracle (a run can be both:
+    #: it rode the cohort up to its divergence point).
+    batched_runs: int = 0
+    peeled_runs: int = 0
 
     @property
     def total_runs(self) -> int:
@@ -89,6 +94,11 @@ class RegressionReport:
             lines.append(
                 f"  {self.executed_runs} run(s) executed, "
                 f"{self.cached_runs} served from cache"
+            )
+        if self.batched_runs:
+            lines.append(
+                f"  {self.batched_runs} run(s) batched in lock-step "
+                f"({self.peeled_runs} peeled to scalar)"
             )
         for platform, count in sorted(self.suspect_platforms().items()):
             lines.append(
@@ -142,19 +152,27 @@ class RegressionRunner:
         self,
         targets: list[Target] | None = None,
         platform_overrides: dict[str, Platform] | None = None,
+        executor: str = "auto",
     ):
         self.targets = list(targets or all_targets())
         #: target name -> pre-built platform (lets experiments inject a
         #: faulty gate-level simulator, C2).
         self.platform_overrides = dict(platform_overrides or {})
+        self.executor = executor
+        self._scheduler_instance = None
 
     def _scheduler(self):
         from repro.core.scheduler import RegressionScheduler
 
-        return RegressionScheduler(
-            targets=self.targets,
-            platform_overrides=self.platform_overrides,
-        )
+        # Keep one scheduler alive so the batch executor's pooled
+        # BatchSessions amortise device construction across calls.
+        if self._scheduler_instance is None:
+            self._scheduler_instance = RegressionScheduler(
+                targets=self.targets,
+                platform_overrides=self.platform_overrides,
+                executor=self.executor,
+            )
+        return self._scheduler_instance
 
     def run_environment(
         self,

@@ -57,7 +57,7 @@ from repro.platforms.base import (
     RunStatus,
 )
 from repro.platforms.cpu import TraceEntry
-from repro.platforms.session import ExecutionSession
+from repro.platforms.session import BatchSession, ExecutionSession
 from repro.soc.derivatives import Derivative, derivative as lookup_derivative
 
 #: Bump when run semantics change in a way that invalidates old caches.
@@ -76,11 +76,19 @@ class RunRequest:
 
 @dataclass
 class RunOutcome:
-    """A request plus how its result was obtained."""
+    """A request plus how its result was obtained.
+
+    ``batched`` marks results materialised from a lock-step batch
+    cohort (see :class:`~repro.platforms.session.BatchSession`);
+    ``peeled`` marks lanes that ran (at least partly) on their own
+    scalar engine because the lock-step argument could not cover them.
+    """
 
     request: RunRequest
     result: RunResult
     cached: bool = False
+    batched: bool = False
+    peeled: bool = False
 
 
 # --------------------------------------------------------------------------
@@ -250,7 +258,7 @@ class RegressionScheduler:
         cache: ResultCache | None = None,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     ):
-        if executor not in ("auto", "serial", "thread", "process"):
+        if executor not in ("auto", "serial", "thread", "process", "batch"):
             raise ValueError(f"unknown executor {executor!r}")
         self.targets = list(targets or all_targets())
         self.platform_overrides = dict(platform_overrides or {})
@@ -258,6 +266,10 @@ class RegressionScheduler:
         self.executor = executor
         self.cache = cache
         self.max_instructions = max_instructions
+        #: (derivative, target tuple) -> pooled BatchSession, so the
+        #: batch executor amortises device construction across cells
+        #: exactly like the serial executor's per-target sessions.
+        self._batch_sessions: dict[tuple, BatchSession] = {}
 
     # -- public API -----------------------------------------------------------
     def run_environment(
@@ -285,11 +297,11 @@ class RegressionScheduler:
             else:
                 pending.append((request, image, tgt))
 
-        for request, result in self._execute(pending, derivative):
-            outcomes[request] = RunOutcome(request, result)
-            key = cache_keys.get(request)
+        for outcome in self._execute(pending, derivative):
+            outcomes[outcome.request] = outcome
+            key = cache_keys.get(outcome.request)
             if key is not None:
-                self.cache.put(key, result)
+                self.cache.put(key, outcome.result)
 
         return self._assemble_report(work, outcomes, derivative)
 
@@ -338,7 +350,7 @@ class RegressionScheduler:
         self,
         pending: list[tuple[RunRequest, MemoryImage, Target]],
         derivative: Derivative,
-    ) -> list[tuple[RunRequest, RunResult]]:
+    ) -> list[RunOutcome]:
         overridden = [
             item
             for item in pending
@@ -350,13 +362,15 @@ class RegressionScheduler:
             if item[2].name not in self.platform_overrides
         ]
 
-        results: list[tuple[RunRequest, RunResult]] = []
+        results: list[RunOutcome] = []
         results.extend(self._run_overridden(overridden, derivative))
 
         executor = self.executor
         if executor == "auto":
             executor = "serial" if self.jobs <= 1 else "process"
-        if executor == "serial" or self.jobs <= 1 or len(normal) <= 1:
+        if executor == "batch":
+            results.extend(self._run_batched(normal, derivative))
+        elif executor == "serial" or self.jobs <= 1 or len(normal) <= 1:
             results.extend(self._run_serial(normal, derivative))
         else:
             results.extend(self._run_pooled(normal, derivative, executor))
@@ -366,7 +380,7 @@ class RegressionScheduler:
         self,
         items: list[tuple[RunRequest, MemoryImage, Target]],
         derivative: Derivative,
-    ) -> list[tuple[RunRequest, RunResult]]:
+    ) -> list[RunOutcome]:
         sessions: dict[str, ExecutionSession] = {}
         out = []
         for request, image, tgt in items:
@@ -376,21 +390,15 @@ class RegressionScheduler:
                     self.platform_overrides[tgt.name], derivative
                 )
                 sessions[tgt.name] = session
-            out.append(
-                (
-                    request,
-                    session.run(
-                        image, max_instructions=self.max_instructions
-                    ),
-                )
-            )
+            result = session.run(image, max_instructions=self.max_instructions)
+            out.append(RunOutcome(request, result))
         return out
 
     def _run_serial(
         self,
         items: list[tuple[RunRequest, MemoryImage, Target]],
         derivative: Derivative,
-    ) -> list[tuple[RunRequest, RunResult]]:
+    ) -> list[RunOutcome]:
         sessions: dict[str, ExecutionSession] = {}
         out = []
         for request, image, tgt in items:
@@ -398,14 +406,55 @@ class RegressionScheduler:
             if session is None:
                 session = ExecutionSession(tgt.make_platform(), derivative)
                 sessions[tgt.name] = session
-            out.append(
-                (
-                    request,
-                    session.run(
-                        image, max_instructions=self.max_instructions
-                    ),
+            result = session.run(image, max_instructions=self.max_instructions)
+            out.append(RunOutcome(request, result))
+        return out
+
+    def _run_batched(
+        self,
+        items: list[tuple[RunRequest, MemoryImage, Target]],
+        derivative: Derivative,
+    ) -> list[RunOutcome]:
+        """Run whole matrix cells in lock-step on a pooled BatchSession.
+
+        Entries sharing a cell *and* the same built image object (the
+        environment build cache deduplicates targets with identical
+        build inputs) become lanes of one batch; per-lane accounting
+        (executed counts, cache writes, batched/peeled flags) stays per
+        request, not per batch.
+        """
+        groups: dict[
+            tuple, list[tuple[RunRequest, MemoryImage, Target]]
+        ] = {}
+        for request, image, tgt in items:
+            key = (request.environment, request.cell, id(image))
+            groups.setdefault(key, []).append((request, image, tgt))
+        out: list[RunOutcome] = []
+        for group in groups.values():
+            target_names = tuple(tgt.name for _r, _i, tgt in group)
+            session_key = (derivative.name, target_names)
+            batch = self._batch_sessions.get(session_key)
+            if batch is None:
+                batch = BatchSession(
+                    derivative,
+                    [tgt.make_platform() for _r, _i, tgt in group],
                 )
+                self._batch_sessions[session_key] = batch
+            image = group[0][1]
+            results = batch.run_batch(
+                image, max_instructions=self.max_instructions
             )
+            for (request, _image, _tgt), result, lane in zip(
+                group, results, batch.last_lanes
+            ):
+                out.append(
+                    RunOutcome(
+                        request,
+                        result,
+                        batched=lane.batched,
+                        peeled=lane.peeled,
+                    )
+                )
         return out
 
     def _run_pooled(
@@ -413,7 +462,7 @@ class RegressionScheduler:
         items: list[tuple[RunRequest, MemoryImage, Target]],
         derivative: Derivative,
         executor: str,
-    ) -> list[tuple[RunRequest, RunResult]]:
+    ) -> list[RunOutcome]:
         batches: dict[str, list[tuple[RunRequest, MemoryImage]]] = {}
         for request, image, tgt in items:
             batches.setdefault(tgt.name, []).append((request, image))
@@ -427,10 +476,13 @@ class RegressionScheduler:
             else ProcessPoolExecutor
         )
         workers = min(self.jobs, len(payloads))
-        out: list[tuple[RunRequest, RunResult]] = []
+        out: list[RunOutcome] = []
         with pool_cls(max_workers=workers) as pool:
             for batch_result in pool.map(_run_target_batch, payloads):
-                out.extend(batch_result)
+                out.extend(
+                    RunOutcome(request, result)
+                    for request, result in batch_result
+                )
         return out
 
     # -- reporting ---------------------------------------------------------
@@ -454,6 +506,10 @@ class RegressionScheduler:
                 report.cached_runs += 1
             else:
                 report.executed_runs += 1
+            if outcome.batched:
+                report.batched_runs += 1
+            if outcome.peeled:
+                report.peeled_runs += 1
         for (env_name, cell_name), per_target in per_cell.items():
             detect_divergences(env_name, cell_name, per_target, report)
         return report

@@ -88,7 +88,13 @@ class Mapping:
     word_wbuf: bytearray | None = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
+        # Re-entrant: rebuild_dispatch re-runs this after a device swap,
+        # so stale word buffers must be dropped, not just overwritten —
+        # a non-Memory device (e.g. a watching wrapper) must route every
+        # access through its read/write methods.
         self.end = self.base + self.size
+        self.word_buf = None
+        self.word_wbuf = None
         if type(self.device) is Memory:
             self.word_buf = self.device.data
             if not self.device.read_only:
