@@ -39,6 +39,7 @@ BENCH_PR: dict[str, int] = {
     "superblock": 4,
     "trace_fastpath": 5,
     "batch_engine": 6,
+    "resilience": 7,
 }
 
 #: Committed speedup floors: dotted figure path -> the minimum each
@@ -56,6 +57,9 @@ BENCH_FLOORS: dict[str, dict[str, float]] = {
         "wait_states.speedup": 2.0,
     },
     "batch_engine": {"matrix.speedup": 4.0},
+    # PR 7 is a robustness PR: its floor asserts the supervision layer
+    # is free (>= 0.95x of raw sessions, i.e. <= 5% overhead), not fast.
+    "resilience": {"zero_fault.speedup": 0.95},
 }
 
 #: Keys whose numeric values are trajectory figures.

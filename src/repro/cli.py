@@ -140,6 +140,8 @@ def cmd_regress(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         executor=args.executor,
         cache=cache,
+        run_timeout=args.run_timeout,
+        retries=args.retries,
     )
     report = scheduler.run_system(environments, deriv)
     print(regression_matrix(report))
@@ -258,6 +260,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="persistent result cache; unchanged cells are not re-run",
+    )
+    p_regress.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock seconds per pooled payload before the run is "
+            "failed and retried (default: no deadline)"
+        ),
+    )
+    p_regress.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help=(
+            "failed attempts per payload before its cell is "
+            "quarantined as a FAULT verdict (default: 2)"
+        ),
     )
     p_regress.add_argument(
         "--no-cache",

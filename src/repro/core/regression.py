@@ -58,6 +58,13 @@ class RegressionReport:
     #: it rode the cohort up to its divergence point).
     batched_runs: int = 0
     peeled_runs: int = 0
+    #: Fault-tolerance bookkeeping: runs that needed more than one
+    #: attempt, cells quarantined as synthesized FAULT verdicts after
+    #: the attempt budget, and batch lanes demoted to a from-reset
+    #: scalar run after an execution-layer error.
+    retried_runs: int = 0
+    quarantined_runs: int = 0
+    degraded_runs: int = 0
 
     @property
     def total_runs(self) -> int:
@@ -99,6 +106,12 @@ class RegressionReport:
             lines.append(
                 f"  {self.batched_runs} run(s) batched in lock-step "
                 f"({self.peeled_runs} peeled to scalar)"
+            )
+        if self.retried_runs or self.quarantined_runs or self.degraded_runs:
+            lines.append(
+                f"  fault tolerance: {self.retried_runs} retried, "
+                f"{self.degraded_runs} degraded, "
+                f"{self.quarantined_runs} quarantined"
             )
         for platform, count in sorted(self.suspect_platforms().items()):
             lines.append(

@@ -1,5 +1,6 @@
-"""Regression scheduling: explicit work-lists, pluggable executors, and
-a persistent result cache for incremental re-regression.
+"""Regression scheduling: explicit work-lists, pluggable executors, a
+persistent result cache for incremental re-regression, and supervised
+fault-tolerant execution.
 
 The paper's regression is a (cells × platforms) matrix over one linked
 image per build input.  The original runner walked that matrix with
@@ -14,14 +15,39 @@ This module makes the matrix explicit:
    target, derivative, platform fingerprint) satisfies entries whose
    inputs have not changed since the last regression — the lab's
    incremental re-run: touch one test cell and only its column of the
-   matrix re-executes;
+   matrix re-executes.  Entries are checksummed; corrupt files are
+   counted, quarantined aside and re-executed rather than replayed;
 3. **execution** — remaining entries run on a pluggable executor:
-   serial (one long-lived :class:`ExecutionSession` per target), or a
-   ``concurrent.futures`` thread/process pool batched by target, so
-   every worker also amortises device construction;
+   serial (one long-lived :class:`ExecutionSession` per target), a
+   ``concurrent.futures`` thread/process pool batched by target, or the
+   lock-step batch engine — all **supervised**: a worker exception,
+   crash or wall-clock overrun fails only its own payload, which is
+   retried with capped deterministic backoff and, after the attempt
+   budget, **quarantined** as a synthesized :data:`RunStatus.FAULT`
+   result.  The matrix always completes;
 4. **report** — the familiar :class:`RegressionReport`, with
-   executed-vs-cached bookkeeping and the golden-reference divergence
-   attribution unchanged.
+   executed/cached/batched/peeled bookkeeping plus the fault-tolerance
+   counters (``retried_runs``/``quarantined_runs``/``degraded_runs``)
+   and the golden-reference divergence attribution unchanged
+   (quarantined cells are infrastructure faults, not platform bugs, so
+   they are excluded from divergence attribution).
+
+Supervision state machine (per pooled payload)::
+
+    queued -> submitted -> ok
+                 |-> exception / timeout -> attempt+1 -> backoff -> queued
+                 |          (attempt > retries, multi-cell) -> split per cell
+                 |          (attempt > retries, one cell)   -> quarantined
+                 `-> pool broke (collateral) -> queued, cautious mode
+
+After a :class:`BrokenProcessPool` the supervisor rebuilds the pool and
+enters **cautious mode** — payloads run one at a time, so the next
+breakage is unambiguously attributed to the payload that was running
+(collateral victims of a parallel-mode breakage are requeued without
+burning an attempt).  Deterministic chaos for all of this comes from
+:mod:`repro.core.faults`: a seeded :class:`FaultPlan` rides into pool
+workers inside the payload, and the scheduler/sessions/cache consult
+the injector at named sites with zero overhead when no plan is set.
 
 Targets with injected platform overrides (fault-injection experiments)
 always execute serially in-process and bypass the cache: an override's
@@ -35,12 +61,26 @@ import hashlib
 import json
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.assembler.linker import MemoryImage
 from repro.core.environment import ModuleTestEnvironment
+from repro.core.faults import (
+    FaultInjector,
+    FaultPlan,
+    SITE_CACHE_READ,
+    SITE_CACHE_WRITE,
+    SITE_WORKER_BOOT,
+)
 from repro.core.regression import (
     RegressionReport,
     detect_divergences,
@@ -61,7 +101,11 @@ from repro.platforms.session import BatchSession, ExecutionSession
 from repro.soc.derivatives import Derivative, derivative as lookup_derivative
 
 #: Bump when run semantics change in a way that invalidates old caches.
-CACHE_SCHEMA = 1
+#: 2: checksummed cache entries (corrupt files detected, not replayed).
+CACHE_SCHEMA = 2
+
+#: How often the pooled supervisor wakes to check deadlines/backoffs.
+_POLL_INTERVAL = 0.05
 
 
 @dataclass(frozen=True)
@@ -82,6 +126,11 @@ class RunOutcome:
     cohort (see :class:`~repro.platforms.session.BatchSession`);
     ``peeled`` marks lanes that ran (at least partly) on their own
     scalar engine because the lock-step argument could not cover them.
+    ``retried`` marks runs that needed more than one submission,
+    ``degraded`` runs demoted from the lock-step fast path to a
+    from-reset scalar run after an execution-layer error, and
+    ``quarantined`` cells whose result is a synthesized
+    :data:`RunStatus.FAULT` because every attempt failed.
     """
 
     request: RunRequest
@@ -89,6 +138,9 @@ class RunOutcome:
     cached: bool = False
     batched: bool = False
     peeled: bool = False
+    retried: bool = False
+    degraded: bool = False
+    quarantined: bool = False
 
 
 # --------------------------------------------------------------------------
@@ -143,20 +195,49 @@ def result_from_payload(payload: dict) -> RunResult:
     )
 
 
+def quarantine_result(
+    platform_name: str,
+    derivative_name: str,
+    reason: str,
+) -> RunResult:
+    """The synthesized verdict of a cell whose every attempt failed.
+
+    ``fault_reason`` is structured as ``quarantined: <detail>`` so
+    report consumers can tell an infrastructure fault from a genuine
+    :class:`~repro.platforms.cpu.CpuFault` raised by the core.
+    """
+    return RunResult(
+        platform=platform_name,
+        derivative=derivative_name,
+        status=RunStatus.FAULT,
+        fault_reason=f"quarantined: {reason}",
+    )
+
+
 class ResultCache:
     """Persistent (image digest, target, derivative) -> result store.
 
     One JSON file per key under *directory*.  The key includes a schema
     version and the platform's behavioural fingerprint, so platform
-    changes invalidate rather than replay stale verdicts.  Corrupt or
-    unreadable entries are treated as misses.
+    changes invalidate rather than replay stale verdicts.  Every entry
+    carries a SHA-256 checksum of its payload: a torn write, bit rot or
+    injected corruption is detected on read, counted in :attr:`corrupt`
+    (distinct from clean :attr:`misses`) and the bad file is renamed
+    aside to ``<key>.corrupt`` so it is never re-parsed — and re-failed
+    — on subsequent regressions.  Write failures are contained and
+    counted in :attr:`write_errors`: a cache that cannot persist a
+    verdict degrades to a cold cache, never to a failed regression.
     """
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path, injector: FaultInjector | None = None):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.write_errors = 0
+        #: Optional chaos hook (:mod:`repro.core.faults`).
+        self.injector = injector
 
     @staticmethod
     def _platform_fingerprint(tgt: Target) -> str:
@@ -196,34 +277,73 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> RunResult | None:
+    def _quarantine_file(self, path: Path) -> None:
+        """Move a corrupt entry off the hot path (best effort)."""
         try:
-            payload = json.loads(self._path(key).read_text())
-            result = result_from_payload(payload)
-        except (OSError, ValueError, KeyError, TypeError):
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
+    def get(self, key: str) -> RunResult | None:
+        path = self._path(key)
+        if not path.exists():
             self.misses += 1
+            return None
+        try:
+            if self.injector is not None:
+                self.injector.fire(SITE_CACHE_READ, key)
+            raw = path.read_bytes()
+            if self.injector is not None:
+                raw = self.injector.mangle(SITE_CACHE_READ, key, raw)
+            body = json.loads(raw)
+            payload_text = body["payload"]
+            checksum = hashlib.sha256(payload_text.encode()).hexdigest()
+            if checksum != body["checksum"]:
+                raise ValueError("cache entry checksum mismatch")
+            result = result_from_payload(json.loads(payload_text))
+        except Exception:
+            # Corrupt, unreadable or injected-faulty: quarantine the
+            # file aside and report a (counted) non-clean miss.
+            self.corrupt += 1
+            self._quarantine_file(path)
             return None
         self.hits += 1
         return result
 
-    def put(self, key: str, result: RunResult) -> None:
+    def put(self, key: str, result: RunResult) -> bool:
+        payload_text = json.dumps(result_to_payload(result), sort_keys=True)
+        body = {
+            "schema": CACHE_SCHEMA,
+            "checksum": hashlib.sha256(payload_text.encode()).hexdigest(),
+            "payload": payload_text,
+        }
+        data = json.dumps(body).encode()
         path = self._path(key)
-        # Unique tmp name: concurrent regressions may share a cache dir,
-        # and a fixed tmp path would let one writer replace another's
-        # half-written file (or race os.replace into FileNotFoundError).
-        fd, tmp = tempfile.mkstemp(
-            prefix=f".{key}.", suffix=".tmp", dir=self.directory
-        )
         try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(json.dumps(result_to_payload(result)))
-            os.replace(tmp, path)
-        except BaseException:
+            if self.injector is not None:
+                self.injector.fire(SITE_CACHE_WRITE, key)
+                data = self.injector.mangle(SITE_CACHE_WRITE, key, data)
+            # Unique tmp name: concurrent regressions may share a cache
+            # dir, and a fixed tmp path would let one writer replace
+            # another's half-written file (or race os.replace into
+            # FileNotFoundError).
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{key}.", suffix=".tmp", dir=self.directory
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            self.write_errors += 1
+            return False
+        return True
 
 
 # --------------------------------------------------------------------------
@@ -234,20 +354,51 @@ def _run_target_batch(payload):
     """Worker: run one target's batch of images on one shared session.
 
     Module-level so process pools can pickle it; thread pools use it
-    too, giving every worker its own platform/device to mutate.
+    too, giving every worker its own platform/device to mutate.  The
+    fault plan (if any) rides along in the payload and a fresh injector
+    is built per call — worker hit counters are per-process by design,
+    so a respawned worker replays the same deterministic chaos, and
+    the ``{target}#{attempt}`` key lets plans distinguish first runs
+    from retries.
     """
-    target_name, derivative_name, max_instructions, batch = payload
+    (
+        target_name,
+        derivative_name,
+        max_instructions,
+        batch,
+        attempt,
+        fault_plan,
+    ) = payload
+    injector = FaultInjector(fault_plan) if fault_plan is not None else None
+    if injector is not None:
+        injector.fire(SITE_WORKER_BOOT, f"{target_name}#{attempt}")
     tgt = lookup_target(target_name)
     derivative = lookup_derivative(derivative_name)
-    session = ExecutionSession(tgt.make_platform(), derivative)
+    session = ExecutionSession(
+        tgt.make_platform(), derivative, injector=injector
+    )
     return [
         (request, session.run(image, max_instructions=max_instructions))
         for request, image in batch
     ]
 
 
+@dataclass
+class _PoolJob:
+    """One supervised pooled payload: a target's batch of cells."""
+
+    target: str
+    requests: list  #: [(RunRequest, MemoryImage)]
+    attempt: int = 0
+    retried: bool = False
+    #: Monotonic-clock time before which the job must not resubmit
+    #: (the deterministic backoff window).
+    not_before: float = 0.0
+
+
 class RegressionScheduler:
-    """Runs the regression matrix with sharing, pooling and caching."""
+    """Runs the regression matrix with sharing, pooling, caching and
+    supervised fault-tolerant execution."""
 
     def __init__(
         self,
@@ -257,6 +408,13 @@ class RegressionScheduler:
         executor: str = "auto",
         cache: ResultCache | None = None,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        run_timeout: float | None = None,
+        retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        clock=time.monotonic,
+        sleep=time.sleep,
+        fault_plan: FaultPlan | None = None,
     ):
         if executor not in ("auto", "serial", "thread", "process", "batch"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -266,6 +424,30 @@ class RegressionScheduler:
         self.executor = executor
         self.cache = cache
         self.max_instructions = max_instructions
+        #: Wall-clock budget per pooled payload; ``None`` disables the
+        #: deadline.  Enforced preemptively on the pooled executors
+        #: (a wedged process worker is killed and its payload retried);
+        #: the in-process executors cannot preempt a running core, so
+        #: there the budget only shapes retry/quarantine decisions.
+        self.run_timeout = run_timeout
+        #: Failed attempts a payload may burn before quarantine.
+        self.retries = max(0, int(retries))
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        #: Injectable time sources so chaos tests run without real
+        #: sleeping and with reproducible deadlines.
+        self._clock = clock
+        self._sleep = sleep
+        self.fault_plan = fault_plan
+        self._injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        if (
+            self._injector is not None
+            and cache is not None
+            and cache.injector is None
+        ):
+            cache.injector = self._injector
         #: (derivative, target tuple) -> pooled BatchSession, so the
         #: batch executor amortises device construction across cells
         #: exactly like the serial executor's per-target sessions.
@@ -300,7 +482,9 @@ class RegressionScheduler:
         for outcome in self._execute(pending, derivative):
             outcomes[outcome.request] = outcome
             key = cache_keys.get(outcome.request)
-            if key is not None:
+            # Quarantined verdicts are infrastructure faults; replaying
+            # them from a warm cache would make one bad day permanent.
+            if key is not None and not outcome.quarantined:
                 self.cache.put(key, outcome.result)
 
         return self._assemble_report(work, outcomes, derivative)
@@ -345,6 +529,28 @@ class RegressionScheduler:
             return None
         return RunOutcome(request, result, cached=True)
 
+    # -- supervision helpers -----------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        """Deterministic capped exponential backoff before a retry."""
+        return min(
+            self.backoff_base * (2 ** max(0, attempt - 1)),
+            self.backoff_cap,
+        )
+
+    def _quarantine_outcome(
+        self,
+        request: RunRequest,
+        derivative: Derivative,
+        reason: str,
+        retried: bool,
+    ) -> RunOutcome:
+        return RunOutcome(
+            request,
+            quarantine_result(request.target, derivative.name, reason),
+            retried=retried,
+            quarantined=True,
+        )
+
     # -- execution ---------------------------------------------------------
     def _execute(
         self,
@@ -381,6 +587,10 @@ class RegressionScheduler:
         items: list[tuple[RunRequest, MemoryImage, Target]],
         derivative: Derivative,
     ) -> list[RunOutcome]:
+        """Injected platforms run unsupervised-but-contained: their
+        state is arbitrary experiment Python, so a failure is
+        quarantined immediately instead of retried (a retry would
+        re-enter the experiment's mutated state)."""
         sessions: dict[str, ExecutionSession] = {}
         out = []
         for request, image, tgt in items:
@@ -390,7 +600,21 @@ class RegressionScheduler:
                     self.platform_overrides[tgt.name], derivative
                 )
                 sessions[tgt.name] = session
-            result = session.run(image, max_instructions=self.max_instructions)
+            try:
+                result = session.run(
+                    image, max_instructions=self.max_instructions
+                )
+            except Exception as exc:
+                sessions.pop(tgt.name, None)
+                out.append(
+                    self._quarantine_outcome(
+                        request,
+                        derivative,
+                        f"overridden platform failed: {exc}",
+                        retried=False,
+                    )
+                )
+                continue
             out.append(RunOutcome(request, result))
         return out
 
@@ -402,13 +626,53 @@ class RegressionScheduler:
         sessions: dict[str, ExecutionSession] = {}
         out = []
         for request, image, tgt in items:
+            out.append(
+                self._supervised_scalar_run(
+                    sessions, request, image, tgt, derivative
+                )
+            )
+        return out
+
+    def _supervised_scalar_run(
+        self,
+        sessions: dict[str, ExecutionSession],
+        request: RunRequest,
+        image: MemoryImage,
+        tgt: Target,
+        derivative: Derivative,
+    ) -> RunOutcome:
+        """One cell with the full retry/quarantine ladder, in-process.
+
+        A failed attempt discards the target's session (the device is
+        in an unknown state) and rebuilds it for the retry.
+        """
+        attempt = 0
+        retried = False
+        while True:
             session = sessions.get(tgt.name)
             if session is None:
-                session = ExecutionSession(tgt.make_platform(), derivative)
+                session = ExecutionSession(
+                    tgt.make_platform(), derivative, injector=self._injector
+                )
                 sessions[tgt.name] = session
-            result = session.run(image, max_instructions=self.max_instructions)
-            out.append(RunOutcome(request, result))
-        return out
+            try:
+                result = session.run(
+                    image, max_instructions=self.max_instructions
+                )
+            except Exception as exc:
+                sessions.pop(tgt.name, None)
+                attempt += 1
+                if attempt > self.retries:
+                    return self._quarantine_outcome(
+                        request,
+                        derivative,
+                        f"{attempt} attempt(s) failed, last: {exc}",
+                        retried=retried,
+                    )
+                retried = True
+                self._sleep(self._backoff(attempt))
+                continue
+            return RunOutcome(request, result, retried=retried)
 
     def _run_batched(
         self,
@@ -420,8 +684,8 @@ class RegressionScheduler:
         Entries sharing a cell *and* the same built image object (the
         environment build cache deduplicates targets with identical
         build inputs) become lanes of one batch; per-lane accounting
-        (executed counts, cache writes, batched/peeled flags) stays per
-        request, not per batch.
+        (executed counts, cache writes, batched/peeled/degraded flags)
+        stays per request, not per batch.
         """
         groups: dict[
             tuple, list[tuple[RunRequest, MemoryImage, Target]]
@@ -438,12 +702,22 @@ class RegressionScheduler:
                 batch = BatchSession(
                     derivative,
                     [tgt.make_platform() for _r, _i, tgt in group],
+                    injector=self._injector,
                 )
                 self._batch_sessions[session_key] = batch
             image = group[0][1]
-            results = batch.run_batch(
-                image, max_instructions=self.max_instructions
-            )
+            try:
+                results = batch.run_batch(
+                    image, max_instructions=self.max_instructions
+                )
+            except Exception:
+                # run_batch is contractually non-raising (the lane
+                # degradation ladder lives inside it); if it still
+                # raises, drop the session and fall back to supervised
+                # scalar runs for the whole group.
+                self._batch_sessions.pop(session_key, None)
+                out.extend(self._run_serial(group, derivative))
+                continue
             for (request, _image, _tgt), result, lane in zip(
                 group, results, batch.last_lanes
             ):
@@ -453,21 +727,29 @@ class RegressionScheduler:
                         result,
                         batched=lane.batched,
                         peeled=lane.peeled,
+                        degraded=lane.degraded,
+                        quarantined=lane.quarantined,
                     )
                 )
         return out
 
+    # -- supervised pooled execution ---------------------------------------
     def _run_pooled(
         self,
         items: list[tuple[RunRequest, MemoryImage, Target]],
         derivative: Derivative,
         executor: str,
     ) -> list[RunOutcome]:
+        """``submit``-per-payload supervision loop (state machine in the
+        module docstring): per-payload error attribution, wall-clock
+        deadlines, broken-pool rebuild with requeue of unfinished
+        payloads only, capped deterministic backoff, and quarantine
+        after the attempt budget."""
         batches: dict[str, list[tuple[RunRequest, MemoryImage]]] = {}
         for request, image, tgt in items:
             batches.setdefault(tgt.name, []).append((request, image))
-        payloads = [
-            (target_name, derivative.name, self.max_instructions, batch)
+        jobs: list[_PoolJob] = [
+            _PoolJob(target=target_name, requests=batch)
             for target_name, batch in batches.items()
         ]
         pool_cls = (
@@ -475,15 +757,235 @@ class RegressionScheduler:
             if executor == "thread"
             else ProcessPoolExecutor
         )
-        workers = min(self.jobs, len(payloads))
+        workers = min(self.jobs, max(1, len(jobs)))
         out: list[RunOutcome] = []
-        with pool_cls(max_workers=workers) as pool:
-            for batch_result in pool.map(_run_target_batch, payloads):
-                out.extend(
-                    RunOutcome(request, result)
-                    for request, result in batch_result
+        pool = pool_cls(max_workers=workers)
+        #: future -> (job, wall-clock deadline or None)
+        inflight: dict = {}
+        #: After a pool breakage payloads run one at a time so the next
+        #: breakage is unambiguously attributed (see module docstring).
+        cautious = False
+        try:
+            while jobs or inflight:
+                now = self._clock()
+                for job in [j for j in jobs if j.not_before <= now]:
+                    if cautious and inflight:
+                        break
+                    try:
+                        future = pool.submit(
+                            _run_target_batch,
+                            (
+                                job.target,
+                                derivative.name,
+                                self.max_instructions,
+                                job.requests,
+                                job.attempt,
+                                self.fault_plan,
+                            ),
+                        )
+                    except BrokenExecutor:
+                        pool = self._rebuild_pool(pool, pool_cls, workers)
+                        break  # job stays queued; resubmit next pass
+                    jobs.remove(job)
+                    # The wall-clock deadline starts when the payload
+                    # begins *running* (set lazily below), not when it
+                    # is queued — a busy pool must not time out jobs
+                    # that never got a worker.
+                    inflight[future] = (job, None)
+                if not inflight:
+                    if jobs:
+                        wake = min(job.not_before for job in jobs)
+                        self._sleep(max(0.0, wake - self._clock()))
+                    continue
+
+                done, _ = wait(
+                    list(inflight),
+                    timeout=_POLL_INTERVAL,
+                    return_when=FIRST_COMPLETED,
                 )
+                broken = False
+                for future in done:
+                    job, _deadline = inflight.pop(future)
+                    try:
+                        batch_result = future.result()
+                    except BrokenExecutor:
+                        broken = True
+                        # Only a payload that ran alone (cautious mode)
+                        # is unambiguously the one that broke the pool;
+                        # in parallel mode every inflight future dies
+                        # identically, so nobody is blamed and cautious
+                        # mode sorts the poison payload out.
+                        self._pool_job_broke(
+                            job, jobs, out, derivative, blamed=cautious
+                        )
+                    except Exception as exc:
+                        self._pool_job_failed(job, exc, jobs, out, derivative)
+                    else:
+                        out.extend(
+                            RunOutcome(
+                                request, result, retried=job.retried
+                            )
+                            for request, result in batch_result
+                        )
+                if broken:
+                    # A broken pool dooms every inflight future: requeue
+                    # the collateral victims without burning an attempt
+                    # and rebuild.
+                    for future, (job, _deadline) in inflight.items():
+                        job.retried = True
+                        jobs.append(job)
+                    inflight.clear()
+                    cautious = True
+                    pool = self._rebuild_pool(pool, pool_cls, workers)
+                    continue
+                if cautious and done and not inflight:
+                    # A payload completed alone on the rebuilt pool:
+                    # the pool is healthy again.
+                    cautious = False
+
+                if self.run_timeout is None:
+                    continue
+                now = self._clock()
+                overdue = []
+                for future, (job, deadline) in list(inflight.items()):
+                    if deadline is None:
+                        if future.running():
+                            inflight[future] = (
+                                job, now + self.run_timeout
+                            )
+                    elif now > deadline and not future.done():
+                        overdue.append(future)
+                if not overdue:
+                    continue
+                for future in overdue:
+                    job, _deadline = inflight.pop(future)
+                    self._pool_job_failed(
+                        job,
+                        TimeoutError(
+                            f"run exceeded --run-timeout "
+                            f"({self.run_timeout}s)"
+                        ),
+                        jobs,
+                        out,
+                        derivative,
+                    )
+                # Deadlines only arm on *running* futures, so every
+                # overdue payload means a wedged worker: requeue the
+                # healthy inflight payloads untouched and rebuild
+                # (process workers are killed to reclaim them;
+                # abandoned thread workers finish in the background).
+                for future, (job, _deadline) in inflight.items():
+                    job.retried = True
+                    jobs.append(job)
+                inflight.clear()
+                pool = self._rebuild_pool(
+                    pool, pool_cls, workers, kill=True
+                )
+        finally:
+            self._abandon_pool(pool)
         return out
+
+    def _pool_job_failed(
+        self,
+        job: _PoolJob,
+        exc: BaseException,
+        jobs: list[_PoolJob],
+        out: list[RunOutcome],
+        derivative: Derivative,
+    ) -> None:
+        """One payload's own failure: retry with backoff, then split a
+        multi-cell payload to isolate the poison cell, then
+        quarantine."""
+        job.attempt += 1
+        if job.attempt <= self.retries:
+            job.retried = True
+            job.not_before = self._clock() + self._backoff(job.attempt)
+            jobs.append(job)
+            return
+        self._split_or_quarantine(job, exc, jobs, out, derivative)
+
+    def _pool_job_broke(
+        self,
+        job: _PoolJob,
+        jobs: list[_PoolJob],
+        out: list[RunOutcome],
+        derivative: Derivative,
+        blamed: bool,
+    ) -> None:
+        """A payload whose future died with the pool.  Only a *blamed*
+        payload (it ran alone, so attribution is unambiguous) burns an
+        attempt; parallel-mode victims requeue for free and cautious
+        mode sorts the poison payload out."""
+        if blamed:
+            self._pool_job_failed(
+                job,
+                RuntimeError("worker process pool broke during this payload"),
+                jobs,
+                out,
+                derivative,
+            )
+        else:
+            job.retried = True
+            jobs.append(job)
+
+    def _split_or_quarantine(
+        self,
+        job: _PoolJob,
+        exc: BaseException,
+        jobs: list[_PoolJob],
+        out: list[RunOutcome],
+        derivative: Derivative,
+    ) -> None:
+        if len(job.requests) > 1:
+            # Attempt budget burnt at payload granularity: isolate the
+            # poison cell by re-running each cell as its own payload
+            # with a fresh budget — healthy cells of a shared-target
+            # batch still report real results.
+            jobs.extend(
+                _PoolJob(
+                    target=job.target,
+                    requests=[(request, image)],
+                    retried=True,
+                )
+                for request, image in job.requests
+            )
+            return
+        ((request, _image),) = job.requests
+        out.append(
+            self._quarantine_outcome(
+                request,
+                derivative,
+                f"{job.attempt} attempt(s) failed, last: {exc}",
+                retried=job.retried,
+            )
+        )
+
+    def _rebuild_pool(self, pool, pool_cls, workers: int, kill: bool = False):
+        self._abandon_pool(pool, kill=kill)
+        return pool_cls(max_workers=workers)
+
+    def _abandon_pool(self, pool, kill: bool = False) -> None:
+        """Shut a pool down without waiting on wedged workers.
+
+        *kill* reclaims hung process workers with SIGKILL; thread
+        workers cannot be killed and are left to finish detached.
+        Pending futures are only cancelled on thread pools — a broken
+        process pool's manager thread fails its own work items, and
+        racing it with ``cancel_futures`` trips ``InvalidStateError``
+        in that thread.
+        """
+        if kill:
+            processes = getattr(pool, "_processes", None)
+            if processes:
+                for process in list(processes.values()):
+                    try:
+                        process.kill()
+                    except Exception:
+                        pass
+        pool.shutdown(
+            wait=False,
+            cancel_futures=isinstance(pool, ThreadPoolExecutor),
+        )
 
     # -- reporting ---------------------------------------------------------
     def _assemble_report(
@@ -499,9 +1001,13 @@ class RegressionScheduler:
             report.results[
                 (request.environment, request.cell, request.target)
             ] = outcome.result
-            per_cell.setdefault(
-                (request.environment, request.cell), {}
-            )[request.target] = outcome.result
+            if not outcome.quarantined:
+                # Quarantined cells are infrastructure faults; blaming
+                # their platform for a "divergence" would pollute the
+                # paper's bug-attribution signal.
+                per_cell.setdefault(
+                    (request.environment, request.cell), {}
+                )[request.target] = outcome.result
             if outcome.cached:
                 report.cached_runs += 1
             else:
@@ -510,6 +1016,12 @@ class RegressionScheduler:
                 report.batched_runs += 1
             if outcome.peeled:
                 report.peeled_runs += 1
+            if outcome.retried:
+                report.retried_runs += 1
+            if outcome.quarantined:
+                report.quarantined_runs += 1
+            if outcome.degraded:
+                report.degraded_runs += 1
         for (env_name, cell_name), per_target in per_cell.items():
             detect_divergences(env_name, cell_name, per_target, report)
         return report

@@ -98,6 +98,12 @@ from repro.platforms.cpu import CpuCore, CpuFault
 from repro.soc.bus import BusTrace
 from repro.soc.derivatives import Derivative
 
+# Injection-site names from :mod:`repro.core.faults` (string literals
+# here: importing that module would initialise ``repro.core`` while
+# ``repro.platforms`` may itself still be mid-import).
+_SITE_SESSION_RUN = "session-run"
+_SITE_BATCH_PEEL = "batch-peel"
+
 
 class _RunContext:
     """State of one in-flight run between the session phases."""
@@ -135,9 +141,14 @@ class ExecutionSession:
         use_block_run: bool | None = None,
         use_superblocks: bool | None = None,
         use_fast_forward: bool | None = None,
+        injector=None,
     ):
         self.platform = platform
         self.derivative = derivative
+        #: Optional :class:`repro.core.faults.FaultInjector`; consulted
+        #: at run begin so chaos tests can fail a specific run of a
+        #: specific platform deterministically.
+        self.injector = injector
         self.soc = platform.build_soc(derivative)
         self.cpu = CpuCore(
             self.soc.bus,
@@ -251,6 +262,11 @@ class ExecutionSession:
         self.batch_lanes = 0
         self.batch_steps = 0
         self.peel_events = 0
+        if self.injector is not None:
+            self.injector.fire(
+                _SITE_SESSION_RUN,
+                f"{platform.name}#run{self.runs_completed}",
+            )
 
         if self.runs_completed:
             soc.full_reset()
@@ -303,6 +319,11 @@ class ExecutionSession:
         self.batch_lanes = 0
         self.batch_steps = 0
         self.peel_events = 0
+        if self.injector is not None:
+            self.injector.fire(
+                _SITE_SESSION_RUN,
+                f"{self.platform.name}#run{self.runs_completed}",
+            )
         if self.runs_completed:
             soc.full_reset()
         soc.restore_lane_state(soc_state)
@@ -432,6 +453,8 @@ class BatchLane:
         "dirty",
         "peeled",
         "batched",
+        "degraded",
+        "quarantined",
         "result",
     )
 
@@ -446,6 +469,12 @@ class BatchLane:
         self.dirty: dict[int, int] = {}
         self.peeled = False
         self.batched = False
+        #: The lane hit an execution-layer error and was demoted to a
+        #: from-reset scalar run on a fresh device.
+        self.degraded = False
+        #: Even the degraded run failed; ``result`` is a synthesized
+        #: :data:`RunStatus.FAULT` verdict.
+        self.quarantined = False
         self.result = None
 
 
@@ -583,6 +612,7 @@ class BatchSession:
         use_block_run: bool | None = None,
         use_superblocks: bool | None = None,
         use_fast_forward: bool | None = None,
+        injector=None,
     ):
         self.derivative = derivative
         self.platforms = list(platforms)
@@ -594,6 +624,9 @@ class BatchSession:
             "use_superblocks": use_superblocks,
             "use_fast_forward": use_fast_forward,
         }
+        #: Optional :class:`repro.core.faults.FaultInjector`, shared by
+        #: every lane session this batch creates.
+        self.injector = injector
         #: lane index -> scalar session (leaders + peeled lanes only;
         #: converged followers never need a device of their own).
         self._sessions: dict[int, ExecutionSession] = {}
@@ -603,6 +636,7 @@ class BatchSession:
         self.batch_lanes = 0
         self.batch_steps = 0
         self.peel_events = 0
+        self.degraded_lanes = 0
 
     # -- telemetry ---------------------------------------------------------
     def stats(self) -> dict:
@@ -624,6 +658,7 @@ class BatchSession:
         totals["batch_lanes"] = self.batch_lanes
         totals["batch_steps"] = self.batch_steps
         totals["peel_events"] = self.peel_events
+        totals["degraded_lanes"] = self.degraded_lanes
         return totals
 
     def lane_divergences(self, reference: int = 0) -> dict[int, list[str]]:
@@ -652,6 +687,13 @@ class BatchSession:
         (``{address: word}`` or ``None``), poked after image load —
         the batched equivalent of :meth:`ExecutionSession.run`'s
         ``stimulus`` argument.
+
+        Argument errors (lane/stimulus mismatch, stimulus outside RAM)
+        raise up front; past that point ``run_batch`` never raises —
+        an execution-layer failure demotes the affected lanes down the
+        degradation ladder (lock-step → from-reset scalar run flagged
+        ``degraded`` → synthesized FAULT verdict flagged
+        ``quarantined``) and the batch still returns a result per lane.
         """
         if stimuli is None:
             stimuli = [None] * len(self.platforms)
@@ -659,6 +701,16 @@ class BatchSession:
             raise ValueError(
                 f"{len(self.platforms)} lanes but {len(stimuli)} stimuli"
             )
+        ram = self.derivative.memory_map().ram
+        for stimulus in stimuli:
+            for address in stimulus or ():
+                if not (
+                    ram.base <= address
+                    and address + 4 <= ram.base + ram.size
+                ):
+                    raise ValueError(
+                        f"stimulus word at {address:#010x} is outside RAM"
+                    )
         lanes = [
             BatchLane(i, platform, stimulus)
             for i, (platform, stimulus) in enumerate(
@@ -670,6 +722,7 @@ class BatchSession:
         self.batch_lanes = len(lanes)
         self.batch_steps = 0
         self.peel_events = 0
+        self.degraded_lanes = 0
         self._leader_sessions = []
 
         cohorts: dict[tuple, list[BatchLane]] = {}
@@ -683,12 +736,71 @@ class BatchSession:
         for lane in static_peels:
             # Platform hooks (fault injection, custom devices) make a
             # lane's execution lane-local by definition: scalar oracle.
-            self._peel_from_reset(
-                lane, image, max_instructions, entry_symbol
-            )
+            try:
+                self._peel_from_reset(
+                    lane, image, max_instructions, entry_symbol
+                )
+            except Exception as exc:
+                self._degrade_lane(
+                    lane, image, max_instructions, entry_symbol, exc
+                )
         for cohort in cohorts.values():
-            self._run_cohort(image, cohort, max_instructions, entry_symbol)
+            try:
+                self._run_cohort(
+                    image, cohort, max_instructions, entry_symbol
+                )
+            except Exception as exc:
+                # The shared leader device is in an unknown state:
+                # every lane of the cohort that has no verdict yet
+                # walks the degradation ladder on its own device.
+                for lane in cohort:
+                    if lane.result is None:
+                        self._degrade_lane(
+                            lane, image, max_instructions,
+                            entry_symbol, exc,
+                        )
         return [lane.result for lane in lanes]
+
+    def _degrade_lane(
+        self,
+        lane: BatchLane,
+        image: MemoryImage,
+        max_instructions: int | None,
+        entry_symbol: str,
+        error: BaseException,
+    ) -> None:
+        """Bottom half of the degradation ladder: re-run the lane from
+        reset on a fresh device (byte-identical to a scalar
+        :meth:`ExecutionSession.run`); if even that fails, synthesize a
+        quarantined FAULT verdict so the batch always completes."""
+        from repro.platforms.base import RunResult, RunStatus
+
+        lane.degraded = True
+        self.degraded_lanes += 1
+        # The lane's session (if any) saw the failure: its device state
+        # is unknown, so it is discarded and rebuilt.
+        self._sessions.pop(lane.index, None)
+        try:
+            session = self._session_for(lane)
+            lane.result = session.run(
+                image,
+                max_instructions=max_instructions,
+                entry_symbol=entry_symbol,
+                stimulus=lane.stimulus,
+            )
+            self.lane_rows.capture(lane.index, session.cpu)
+        except Exception as exc:
+            self._sessions.pop(lane.index, None)
+            lane.quarantined = True
+            lane.result = RunResult(
+                platform=lane.platform.name,
+                derivative=self.derivative.name,
+                status=RunStatus.FAULT,
+                fault_reason=(
+                    f"quarantined: batch lane degraded after {error}; "
+                    f"degraded re-run failed: {exc}"
+                ),
+            )
 
     # -- cohort formation --------------------------------------------------
     def _cohort_key(self, platform):
@@ -730,7 +842,10 @@ class BatchSession:
         session = self._sessions.get(lane.index)
         if session is None:
             session = ExecutionSession(
-                lane.platform, self.derivative, **self._engine_overrides
+                lane.platform,
+                self.derivative,
+                injector=self.injector,
+                **self._engine_overrides,
             )
             self._sessions[lane.index] = session
         return session
@@ -760,17 +875,8 @@ class BatchSession:
         watcher: _DirtyWatcher | None = None
         armed: _ArmedWatch | None = None
         if any(lane.stimulus for lane in cohort):
+            # Stimulus bounds were validated up front in run_batch.
             ram = soc.memory_map.ram
-            for lane in cohort:
-                for address in lane.stimulus:
-                    if not (
-                        ram.base <= address
-                        and address + 4 <= ram.base + ram.size
-                    ):
-                        raise ValueError(
-                            f"stimulus word at {address:#010x} is "
-                            "outside RAM"
-                        )
             baseline = bytes(soc.ram.data)
             session.apply_stimulus(leader.stimulus)
             leader_ram = soc.ram.data
@@ -921,6 +1027,11 @@ class BatchSession:
     ) -> None:
         """Clone the leader at the fork point, apply the lane's dirty
         bytes, re-apply the divergent load lane-wise, run on."""
+        if self.injector is not None:
+            self.injector.fire(
+                _SITE_BATCH_PEEL,
+                f"{lane.platform.name}#lane{lane.index}",
+            )
         session = self._session_for(lane)
         ctx = session.begin_forked(
             image, max_instructions, soc_state, cpu_state
@@ -953,6 +1064,11 @@ class BatchSession:
         max_instructions: int | None,
         entry_symbol: str,
     ) -> None:
+        if self.injector is not None:
+            self.injector.fire(
+                _SITE_BATCH_PEEL,
+                f"{lane.platform.name}#lane{lane.index}",
+            )
         session = self._session_for(lane)
         lane.result = session.run(
             image,

@@ -1,0 +1,523 @@
+"""Fault-tolerant regression execution: supervision, quarantine, chaos.
+
+Drives seeded :class:`~repro.core.faults.FaultPlan`\\ s through the
+serial / thread / process / batch executors and asserts the contract
+the supervision layer promises: the matrix always completes, healthy
+cells keep byte-identical verdicts vs a fault-free run, and faulty
+cells surface as retried / degraded / quarantined bookkeeping instead
+of raw tracebacks.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.faults import (
+    ACTION_CORRUPT,
+    ACTION_HANG,
+    ACTION_KILL,
+    ACTION_RAISE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    SITE_BATCH_PEEL,
+    SITE_CACHE_READ,
+    SITE_CACHE_WRITE,
+    SITE_SESSION_RUN,
+    SITE_WORKER_BOOT,
+    corrupt_bytes,
+)
+from repro.core.scheduler import RegressionScheduler, ResultCache, result_to_payload
+from repro.core.targets import TARGET_GOLDEN
+from repro.core.workloads import make_nvm_environment, make_uart_environment
+from repro.platforms import RunStatus, make_platform
+from repro.platforms.session import BatchSession
+from repro.soc.derivatives import SC88A
+
+
+def make_environments():
+    return {
+        "NVM": make_nvm_environment(2),
+        "UART": make_uart_environment(1),
+    }
+
+
+def payload_matrix(report):
+    """(env, cell, target) -> full serialized result, for byte-identity
+    comparisons across executors and fault plans."""
+    return {
+        key: result_to_payload(result)
+        for key, result in report.results.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline_report():
+    """One fault-free serial run of the full matrix to compare against."""
+    return RegressionScheduler().run_system(make_environments(), SC88A)
+
+
+def assert_healthy_cells_identical(report, baseline, faulty_targets=()):
+    base = payload_matrix(baseline)
+    got = payload_matrix(report)
+    assert set(got) == set(base)
+    for key, payload in got.items():
+        if key[2] in faulty_targets:
+            continue
+        assert payload == base[key], f"healthy cell {key} diverged"
+
+
+# --------------------------------------------------------------------------
+# the injector itself
+# --------------------------------------------------------------------------
+
+class TestFaultInjector:
+    def test_plan_validates_sites_and_actions(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="nonsense", action=ACTION_RAISE)
+        with pytest.raises(ValueError):
+            FaultSpec(site=SITE_SESSION_RUN, action="explode")
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan(
+            seed=7,
+            specs=[
+                FaultSpec(site=SITE_WORKER_BOOT, action=ACTION_KILL,
+                          match="rtl#0"),
+            ],
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_injected_fault_survives_pickling(self):
+        fault = InjectedFault(SITE_WORKER_BOOT, "rtl#0")
+        clone = pickle.loads(pickle.dumps(fault))
+        assert clone.site == fault.site
+        assert clone.key == fault.key
+        assert str(clone) == str(fault)
+
+    def test_after_times_window(self):
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_SESSION_RUN, action=ACTION_RAISE,
+                      after=1, times=2),
+        ])
+        injector = FaultInjector(plan)
+        injector.fire(SITE_SESSION_RUN, "golden#run0")  # hit 1: armed
+        with pytest.raises(InjectedFault):
+            injector.fire(SITE_SESSION_RUN, "golden#run1")  # hit 2
+        with pytest.raises(InjectedFault):
+            injector.fire(SITE_SESSION_RUN, "golden#run2")  # hit 3
+        injector.fire(SITE_SESSION_RUN, "golden#run3")  # window spent
+
+    def test_match_filters_and_does_not_advance_counter(self):
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_SESSION_RUN, action=ACTION_RAISE,
+                      match="rtl"),
+        ])
+        injector = FaultInjector(plan)
+        for _ in range(5):
+            injector.fire(SITE_SESSION_RUN, "golden#run0")
+        with pytest.raises(InjectedFault):
+            injector.fire(SITE_SESSION_RUN, "rtl#run0")
+        injector.fire(SITE_SESSION_RUN, "rtl#run1")
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_CACHE_WRITE, action=ACTION_RAISE),
+        ])
+        injector = FaultInjector(plan)
+        injector.fire(SITE_SESSION_RUN, "x")
+        injector.fire(SITE_WORKER_BOOT, "x")
+        with pytest.raises(InjectedFault):
+            injector.fire(SITE_CACHE_WRITE, "x")
+
+    def test_kill_degrades_to_raise_outside_worker(self):
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_WORKER_BOOT, action=ACTION_KILL),
+        ])
+        injector = FaultInjector(plan)
+        # In the main process this must not SIGKILL the test runner.
+        with pytest.raises(InjectedFault):
+            injector.fire(SITE_WORKER_BOOT, "rtl#0")
+
+    def test_hang_uses_injectable_sleep(self):
+        slept = []
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_SESSION_RUN, action=ACTION_HANG,
+                      hang_seconds=12.5),
+        ])
+        injector = FaultInjector(plan, sleep=slept.append)
+        injector.fire(SITE_SESSION_RUN, "golden#run0")
+        assert slept == [12.5]
+        assert injector.fired == [
+            (SITE_SESSION_RUN, "golden#run0", ACTION_HANG)
+        ]
+
+    def test_corruption_is_deterministic_per_seed(self):
+        data = bytes(range(64))
+        a = corrupt_bytes(data, 1, SITE_CACHE_READ, "k", 4)
+        b = corrupt_bytes(data, 1, SITE_CACHE_READ, "k", 4)
+        c = corrupt_bytes(data, 2, SITE_CACHE_READ, "k", 4)
+        assert a == b
+        assert a != data
+        assert c != a
+        assert corrupt_bytes(b"", 1, SITE_CACHE_READ, "k", 4) != b""
+
+
+# --------------------------------------------------------------------------
+# supervised executors
+# --------------------------------------------------------------------------
+
+class TestSerialSupervision:
+    def test_transient_fault_is_retried(self, baseline_report):
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_SESSION_RUN, action=ACTION_RAISE,
+                      match="rtl", times=1),
+        ])
+        report = RegressionScheduler(
+            fault_plan=plan, sleep=lambda _s: None
+        ).run_system(make_environments(), SC88A)
+        assert report.retried_runs >= 1
+        assert report.quarantined_runs == 0
+        assert_healthy_cells_identical(report, baseline_report)
+
+    def test_persistent_fault_quarantines_only_its_cells(
+        self, baseline_report
+    ):
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_SESSION_RUN, action=ACTION_RAISE,
+                      match="rtl", times=999),
+        ])
+        report = RegressionScheduler(
+            fault_plan=plan, retries=1, sleep=lambda _s: None
+        ).run_system(make_environments(), SC88A)
+        assert report.total_runs == baseline_report.total_runs
+        rtl_cells = [
+            result
+            for key, result in report.results.items()
+            if key[2] == "rtl"
+        ]
+        assert rtl_cells and all(
+            r.status is RunStatus.FAULT
+            and r.fault_reason.startswith("quarantined:")
+            for r in rtl_cells
+        )
+        assert report.quarantined_runs == len(rtl_cells)
+        assert_healthy_cells_identical(
+            report, baseline_report, faulty_targets={"rtl"}
+        )
+        assert "quarantined" in report.summary()
+
+    def test_quarantined_cells_do_not_pollute_divergences(self):
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_SESSION_RUN, action=ACTION_RAISE,
+                      match="rtl", times=999),
+        ])
+        report = RegressionScheduler(
+            fault_plan=plan, retries=0, sleep=lambda _s: None
+        ).run_environment(make_nvm_environment(1), SC88A)
+        # The quarantine is an infrastructure fault, not an rtl bug.
+        assert report.suspect_platforms() == {}
+        assert not report.clean  # but the fault is still surfaced
+
+    def test_zero_overhead_wiring_when_disabled(self):
+        scheduler = RegressionScheduler()
+        assert scheduler._injector is None
+        report = scheduler.run_environment(make_nvm_environment(1), SC88A)
+        assert report.retried_runs == 0
+        assert report.quarantined_runs == 0
+        assert report.degraded_runs == 0
+
+
+class TestPooledSupervision:
+    def test_thread_worker_exception_does_not_abort_matrix(
+        self, baseline_report
+    ):
+        # The original pool.map semantics aborted every payload on the
+        # first worker exception; supervised futures must not.
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_WORKER_BOOT, action=ACTION_RAISE,
+                      match="rtl#0", times=1),
+        ])
+        report = RegressionScheduler(
+            jobs=3, executor="thread", fault_plan=plan,
+            backoff_base=0.001,
+        ).run_system(make_environments(), SC88A)
+        assert report.retried_runs >= 1
+        assert report.quarantined_runs == 0
+        assert_healthy_cells_identical(report, baseline_report)
+
+    def test_thread_persistent_fault_quarantines_per_cell(
+        self, baseline_report
+    ):
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_WORKER_BOOT, action=ACTION_RAISE,
+                      match="rtl#", times=999),
+        ])
+        report = RegressionScheduler(
+            jobs=2, executor="thread", fault_plan=plan, retries=1,
+            backoff_base=0.001,
+        ).run_system(make_environments(), SC88A)
+        rtl_cells = [
+            result
+            for key, result in report.results.items()
+            if key[2] == "rtl"
+        ]
+        assert rtl_cells and all(
+            r.status is RunStatus.FAULT for r in rtl_cells
+        )
+        assert_healthy_cells_identical(
+            report, baseline_report, faulty_targets={"rtl"}
+        )
+
+    def test_process_worker_kill_recovers(self, baseline_report):
+        # One worker SIGKILLed on its first attempt: the pool breaks,
+        # is rebuilt, unfinished payloads requeue, the retry (attempt
+        # key no longer matches) succeeds — nothing quarantined.
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_WORKER_BOOT, action=ACTION_KILL,
+                      match="rtl#0", times=1),
+        ])
+        report = RegressionScheduler(
+            jobs=2, executor="process", fault_plan=plan,
+            backoff_base=0.001,
+        ).run_system(make_environments(), SC88A)
+        assert report.total_runs == baseline_report.total_runs
+        assert report.quarantined_runs == 0
+        assert_healthy_cells_identical(report, baseline_report)
+
+    def test_process_hang_past_run_timeout_is_reclaimed(
+        self, baseline_report
+    ):
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_WORKER_BOOT, action=ACTION_HANG,
+                      match="gatelevel#0", times=1, hang_seconds=5.0),
+        ])
+        report = RegressionScheduler(
+            jobs=2, executor="process", fault_plan=plan,
+            run_timeout=0.3, backoff_base=0.001,
+        ).run_system(make_environments(), SC88A)
+        assert report.retried_runs >= 1
+        assert report.quarantined_runs == 0
+        assert_healthy_cells_identical(report, baseline_report)
+
+
+class TestBatchDegradation:
+    def test_lockstep_fault_degrades_not_aborts(self, baseline_report):
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_SESSION_RUN, action=ACTION_RAISE,
+                      times=1),
+        ])
+        report = RegressionScheduler(
+            executor="batch", fault_plan=plan
+        ).run_system(make_environments(), SC88A)
+        assert report.total_runs == baseline_report.total_runs
+        assert report.degraded_runs >= 1
+        assert report.quarantined_runs == 0
+        assert_healthy_cells_identical(report, baseline_report)
+        assert "degraded" in report.summary()
+
+    def test_run_batch_never_raises_and_quarantines_last(self):
+        # Every session attempt fails: the degradation ladder must
+        # bottom out in synthesized FAULT verdicts, not an exception.
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_SESSION_RUN, action=ACTION_RAISE,
+                      times=9999),
+        ])
+        injector = FaultInjector(plan)
+        batch = BatchSession(
+            SC88A,
+            [make_platform("golden"), make_platform("rtl")],
+            injector=injector,
+        )
+        env = make_nvm_environment(1)
+        artifacts = env.build_image("TEST_NVM_PAGE_001", SC88A, TARGET_GOLDEN)
+        results = batch.run_batch(artifacts.image)
+        assert len(results) == 2
+        for lane, result in zip(batch.last_lanes, results):
+            assert lane.degraded and lane.quarantined
+            assert result.status is RunStatus.FAULT
+            assert result.fault_reason.startswith("quarantined:")
+        assert batch.stats()["degraded_lanes"] == 2
+
+    def test_peel_fault_degrades_lane_to_identical_scalar_run(self):
+        # A fault during peel servicing demotes the lane to a
+        # from-reset scalar run whose verdict is byte-identical.
+        env = make_nvm_environment(1)
+        artifacts = env.build_image("TEST_NVM_PAGE_001", SC88A, TARGET_GOLDEN)
+        stimuli = [None, {SC88A.memory_map().ram.base: 0xDEAD_BEEF}]
+        plans = [
+            None,
+            FaultPlan(specs=[
+                FaultSpec(site=SITE_BATCH_PEEL, action=ACTION_RAISE,
+                          times=1),
+            ]),
+        ]
+        outcomes = []
+        for plan in plans:
+            batch = BatchSession(
+                SC88A,
+                [make_platform("golden"), make_platform("golden")],
+                injector=(
+                    FaultInjector(plan) if plan is not None else None
+                ),
+            )
+            results = batch.run_batch(artifacts.image, stimuli=stimuli)
+            outcomes.append(
+                [result_to_payload(r) for r in results]
+            )
+        clean, chaotic = outcomes
+        assert chaotic == clean
+
+    def test_invalid_arguments_still_raise(self):
+        # The degradation ladder must not swallow caller errors.
+        env = make_nvm_environment(1)
+        artifacts = env.build_image("TEST_NVM_PAGE_001", SC88A, TARGET_GOLDEN)
+        batch = BatchSession(SC88A, [make_platform("golden")])
+        with pytest.raises(ValueError, match="outside RAM"):
+            batch.run_batch(artifacts.image, stimuli=[{0x10: 1}])
+        with pytest.raises(ValueError, match="lanes"):
+            batch.run_batch(artifacts.image, stimuli=[None, None])
+
+
+# --------------------------------------------------------------------------
+# cache integrity
+# --------------------------------------------------------------------------
+
+class TestCacheIntegrity:
+    def run_once(self, cache):
+        return RegressionScheduler(cache=cache).run_environment(
+            make_nvm_environment(1), SC88A
+        )
+
+    def test_corrupt_entry_counted_and_quarantined_aside(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.run_once(cache)
+        victims = sorted(tmp_path.glob("*.json"))[:2]
+        for path in victims:
+            path.write_bytes(
+                corrupt_bytes(path.read_bytes(), 0, "disk", path.name, 8)
+            )
+        cache = ResultCache(tmp_path)
+        report = self.run_once(cache)
+        assert cache.corrupt == 2
+        assert report.clean
+        # The bad files were renamed aside, not left to re-fail.
+        assert len(list(tmp_path.glob("*.corrupt"))) == 2
+        cache = ResultCache(tmp_path)
+        self.run_once(cache)
+        assert cache.corrupt == 0
+
+    def test_checksum_mismatch_is_not_a_clean_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = self.run_once(cache).results.popitem()[1]
+        key = next(iter(tmp_path.glob("*.json"))).stem
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) is not None
+        assert fresh.corrupt == 0
+        # Flip payload bytes under the checksum.
+        path = tmp_path / f"{key}.json"
+        fresh.put(key, result)
+        body = path.read_bytes().replace(b'status', b'sTatus', 1)
+        path.write_bytes(body)
+        probe = ResultCache(tmp_path)
+        assert probe.get(key) is None
+        assert probe.corrupt == 1
+        assert probe.misses == 0
+
+    def test_injected_read_corruption_reexecutes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = self.run_once(cache)
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_CACHE_READ, action=ACTION_CORRUPT,
+                      times=2),
+        ])
+        cache = ResultCache(tmp_path)
+        warm = RegressionScheduler(
+            cache=cache, fault_plan=plan
+        ).run_environment(make_nvm_environment(1), SC88A)
+        assert cache.corrupt == 2
+        assert warm.executed_runs == 2
+        assert warm.cached_runs == cold.total_runs - 2
+        assert payload_matrix(warm) == payload_matrix(cold)
+
+    def test_write_failure_degrades_to_cold_cache(self, tmp_path):
+        plan = FaultPlan(specs=[
+            FaultSpec(site=SITE_CACHE_WRITE, action=ACTION_RAISE,
+                      times=1),
+        ])
+        cache = ResultCache(tmp_path)
+        scheduler = RegressionScheduler(cache=cache, fault_plan=plan)
+        env = make_nvm_environment(1)
+        cold = scheduler.run_environment(env, SC88A)
+        assert cold.executed_runs == cold.total_runs
+        assert cache.write_errors == 1
+        warm = scheduler.run_environment(env, SC88A)
+        # The one unwritten verdict re-executes; the rest are warm.
+        assert warm.executed_runs == 1
+        assert warm.cached_runs == warm.total_runs - 1
+
+
+# --------------------------------------------------------------------------
+# the acceptance chaos plan
+# --------------------------------------------------------------------------
+
+CHAOS_PLAN = FaultPlan(
+    seed=42,
+    specs=[
+        # Kill one process-pool worker persistently: rtl cells must end
+        # up quarantined, never aborting the matrix.  (Outside a worker
+        # process the kill degrades to a contained raise.)
+        FaultSpec(site=SITE_WORKER_BOOT, action=ACTION_KILL,
+                  match="rtl#", times=999),
+        # Hang one run past --run-timeout; its retry succeeds.
+        FaultSpec(site=SITE_WORKER_BOOT, action=ACTION_HANG,
+                  match="gatelevel#0", times=1, hang_seconds=2.0),
+    ],
+)
+
+
+class TestChaosAcceptance:
+    @pytest.mark.parametrize("executor,jobs", [
+        ("serial", 1),
+        ("thread", 2),
+        ("process", 2),
+    ])
+    def test_chaos_matrix_completes_everywhere(
+        self, executor, jobs, baseline_report, tmp_path
+    ):
+        cache = ResultCache(tmp_path / executor)
+        report = RegressionScheduler(
+            jobs=jobs,
+            executor=executor,
+            cache=cache,
+            fault_plan=CHAOS_PLAN,
+            run_timeout=0.3,
+            retries=1,
+            backoff_base=0.001,
+        ).run_system(make_environments(), SC88A)
+        assert report.total_runs == baseline_report.total_runs
+        faulty = {"rtl"} if executor != "serial" else set()
+        # worker-boot only fires on pooled executors; serially the
+        # whole plan is dormant and the run must be untouched.
+        for key, result in report.results.items():
+            if key[2] in faulty:
+                assert result.status is RunStatus.FAULT
+                assert result.fault_reason.startswith("quarantined:")
+            else:
+                assert result.status is not RunStatus.FAULT
+        assert_healthy_cells_identical(
+            report, baseline_report, faulty_targets=faulty
+        )
+        rtl_cells = sum(1 for key in report.results if key[2] == "rtl")
+        if faulty:
+            assert report.quarantined_runs == rtl_cells
+            assert report.retried_runs >= 1
+        # Quarantined verdicts must not be cached: a warm fault-free
+        # re-run executes exactly the previously-quarantined cells.
+        warm = RegressionScheduler(
+            jobs=1, executor="serial",
+            cache=ResultCache(tmp_path / executor),
+        ).run_system(make_environments(), SC88A)
+        assert warm.executed_runs == (rtl_cells if faulty else 0)
+        assert_healthy_cells_identical(warm, baseline_report)
