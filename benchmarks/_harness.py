@@ -35,6 +35,25 @@ def strip_result(result):
     )
 
 
+def assert_identical(pairs, label: str = "") -> None:
+    """Byte-identity gate: every ``(candidate, reference)`` result pair
+    must strip to the same tuple.  Benches call this on the full
+    platform matrix *before* any speed claim — a fast engine that
+    diverges is a broken engine, not a fast one."""
+    for index, (candidate, reference) in enumerate(pairs):
+        assert strip_result(candidate) == strip_result(reference), (
+            f"{label}[{index}]: engine results diverge from the reference"
+        )
+
+
+def engine_matrix(**configurations) -> dict:
+    """The engine-flag matrix a bench compared, embedded in its JSON so
+    every figure is traceable to the exact engine configurations that
+    produced it (e.g. ``engine_matrix(candidate={'use_jit': True},
+    reference={'use_jit': False})``)."""
+    return {name: dict(flags) for name, flags in configurations.items()}
+
+
 def best_of(repeats: int, fn):
     """Run *fn* *repeats* times; returns ``(best_elapsed_s, value)``
     where *value* is the result of the best (fastest) run."""

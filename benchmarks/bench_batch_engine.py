@@ -42,9 +42,13 @@ from repro.soc.derivatives import SC88A
 from repro.soc.device import FAIL_MAGIC, PASS_MAGIC
 
 from conftest import shape
-from _harness import BenchResults, best_of, strip_result as strip
+from _harness import engine_matrix, BenchResults, best_of, strip_result as strip
 
 RESULTS = BenchResults("batch_engine")
+RESULTS["engine_matrix"] = engine_matrix(
+    candidate={"engine": "BatchSession lock-step"},
+    reference={"engine": "pooled scalar ExecutionSession runs"},
+)
 
 MEMORY_MAP = SC88A.memory_map()
 #: A RAM word no workload touches (far from data, results and stack).

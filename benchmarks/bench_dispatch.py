@@ -37,7 +37,7 @@ from repro.soc.derivatives import SC88A
 from repro.soc.device import PASS_MAGIC
 
 from conftest import shape
-from _harness import BenchResults, best_rate, strip_result as strip
+from _harness import engine_matrix, BenchResults, best_rate, strip_result as strip
 
 MEMORY_MAP = SC88A.memory_map()
 
@@ -67,6 +67,10 @@ skip:
 """
 
 RESULTS = BenchResults("dispatch")
+RESULTS["engine_matrix"] = engine_matrix(
+    candidate={"use_block_run": True},
+    reference={"use_block_run": False},
+)
 
 
 def link_source(source: str):

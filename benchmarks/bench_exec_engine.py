@@ -25,11 +25,15 @@ from repro.soc.derivatives import SC88A
 from repro.soc.device import PASS_MAGIC
 
 from conftest import shape
-from _harness import BenchResults, best_of
+from _harness import engine_matrix, BenchResults, best_of
 
 MEMORY_MAP = SC88A.memory_map()
 
 RESULTS = BenchResults("exec_engine")
+RESULTS["engine_matrix"] = engine_matrix(
+    candidate={"use_decode_cache": True},
+    reference={"use_decode_cache": False},
+)
 
 LOOP_ITERATIONS = 30_000
 

@@ -45,7 +45,7 @@ from repro.soc.derivatives import SC88A
 from repro.soc.device import FAIL_MAGIC, PASS_MAGIC, SystemOnChip
 
 from conftest import shape
-from _harness import BenchResults, best_rate
+from _harness import engine_matrix, BenchResults, best_rate
 
 MEMORY_MAP = SC88A.memory_map()
 REGISTER_MAP = SC88A.register_map()
@@ -76,6 +76,10 @@ loop:
 """
 
 RESULTS = BenchResults("memsys")
+RESULTS["engine_matrix"] = engine_matrix(
+    candidate={"use_decode_cache": True},
+    reference={"use_decode_cache": False},
+)
 
 
 def link_source(source: str):

@@ -42,9 +42,13 @@ from repro.platforms import ExecutionSession
 from repro.soc.derivatives import SC88A
 
 from conftest import shape
-from _harness import BenchResults, best_of, strip_result as strip
+from _harness import engine_matrix, BenchResults, best_of, strip_result as strip
 
 RESULTS = BenchResults("resilience")
+RESULTS["engine_matrix"] = engine_matrix(
+    candidate={"supervision": True},
+    reference={"supervision": False, "note": "raw sessions"},
+)
 
 #: Full (pytest/CI bench) and quick (perf-smoke gate) configurations.
 FULL = {

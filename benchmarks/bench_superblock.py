@@ -47,11 +47,16 @@ from repro.soc.derivatives import SC88A
 from repro.soc.device import PASS_MAGIC
 
 from conftest import shape
-from _harness import BenchResults, best_rate, strip_result as strip
+from _harness import engine_matrix, BenchResults, best_rate, strip_result as strip
 
 MEMORY_MAP = SC88A.memory_map()
 
 RESULTS = BenchResults("superblock")
+RESULTS["engine_matrix"] = engine_matrix(
+    candidate={"use_superblocks": True, "use_fast_forward": True},
+    reference={"use_superblocks": False},
+    baseline={"use_block_run": False, "note": "per-step/per-tick loop"},
+)
 
 #: Full (pytest/CI bench) and quick (perf-smoke gate) configurations.
 FULL = {

@@ -45,9 +45,16 @@ from repro.soc.derivatives import SC88A
 from repro.soc.device import PASS_MAGIC
 
 from conftest import shape
-from _harness import BenchResults, best_rate, strip_result as strip
+from _harness import engine_matrix, BenchResults, best_rate, strip_result as strip
 
 RESULTS = BenchResults("trace_fastpath")
+RESULTS["engine_matrix"] = engine_matrix(
+    candidate={"use_superblocks": True},
+    reference={
+        "use_superblocks": False,
+        "note": "per-step loop under observation",
+    },
+)
 
 #: Full (pytest/CI bench) and quick (perf-smoke gate) configurations.
 FULL = {

@@ -40,6 +40,7 @@ BENCH_PR: dict[str, int] = {
     "trace_fastpath": 5,
     "batch_engine": 6,
     "resilience": 7,
+    "jit": 8,
 }
 
 #: Committed speedup floors: dotted figure path -> the minimum each
@@ -60,6 +61,9 @@ BENCH_FLOORS: dict[str, dict[str, float]] = {
     # PR 7 is a robustness PR: its floor asserts the supervision layer
     # is free (>= 0.95x of raw sessions, i.e. <= 5% overhead), not fast.
     "resilience": {"zero_fault.speedup": 0.95},
+    # PR 8 acceptance: >= 2x over the superblock engine on the
+    # compute-heavy workloads (quick mode embeds its own 1.5x floor).
+    "jit": {"compute.speedup": 2.0},
 }
 
 #: Keys whose numeric values are trajectory figures.

@@ -146,6 +146,10 @@ def cmd_regress(args: argparse.Namespace) -> int:
     report = scheduler.run_system(environments, deriv)
     print(regression_matrix(report))
     print(report.summary())
+    if args.engine_stats:
+        stats = scheduler.engine_stats
+        line = " ".join(f"{key}={stats[key]}" for key in sorted(stats))
+        print(f"engine-stats: {line or '(no runs executed)'}")
     return 0 if report.clean else 1
 
 
@@ -283,6 +287,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="ignore --cache-dir and execute every matrix entry",
+    )
+    p_regress.add_argument(
+        "--engine-stats",
+        action="store_true",
+        help=(
+            "append aggregated engine telemetry (sb_replays, ff_warps, "
+            "jit_chains, jit_exec_steps, batch/peel counters) to the "
+            "report summary"
+        ),
     )
     p_regress.set_defaults(func=cmd_regress)
 

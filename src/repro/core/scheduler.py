@@ -350,6 +350,25 @@ class ResultCache:
 # executors
 # --------------------------------------------------------------------------
 
+#: ``stats()`` keys whose sources are cumulative (shared decode caches)
+#: or global (the digest registry): merged as gauges, not summed.
+_ENGINE_GAUGES = ("decode_hits", "decode_misses")
+
+
+def merge_engine_stats(totals: dict, stats: dict) -> dict:
+    """Accumulate one engine ``stats()`` snapshot into *totals*.
+
+    Per-run counters (``sb_replays``, ``ff_warps``, ``jit_chains``,
+    ``jit_exec_steps``, batch/peel counters) sum; shared-cache and
+    registry keys are gauges where the last observation wins."""
+    for key, value in stats.items():
+        if key in _ENGINE_GAUGES or key.startswith("registry_"):
+            totals[key] = value
+        else:
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
 def _run_target_batch(payload):
     """Worker: run one target's batch of images on one shared session.
 
@@ -377,10 +396,14 @@ def _run_target_batch(payload):
     session = ExecutionSession(
         tgt.make_platform(), derivative, injector=injector
     )
-    return [
-        (request, session.run(image, max_instructions=max_instructions))
-        for request, image in batch
-    ]
+    pairs = []
+    totals: dict = {}
+    for request, image in batch:
+        pairs.append(
+            (request, session.run(image, max_instructions=max_instructions))
+        )
+        merge_engine_stats(totals, session.stats())
+    return pairs, totals
 
 
 @dataclass
@@ -452,6 +475,10 @@ class RegressionScheduler:
         #: batch executor amortises device construction across cells
         #: exactly like the serial executor's per-target sessions.
         self._batch_sessions: dict[tuple, BatchSession] = {}
+        #: Aggregated engine telemetry (``ExecutionSession.stats()``
+        #: merged via :func:`merge_engine_stats`) over every run this
+        #: scheduler executed — ``regress --engine-stats`` dumps it.
+        self.engine_stats: dict[str, int] = {}
 
     # -- public API -----------------------------------------------------------
     def run_environment(
@@ -615,6 +642,7 @@ class RegressionScheduler:
                     )
                 )
                 continue
+            merge_engine_stats(self.engine_stats, session.stats())
             out.append(RunOutcome(request, result))
         return out
 
@@ -672,6 +700,7 @@ class RegressionScheduler:
                 retried = True
                 self._sleep(self._backoff(attempt))
                 continue
+            merge_engine_stats(self.engine_stats, session.stats())
             return RunOutcome(request, result, retried=retried)
 
     def _run_batched(
@@ -718,6 +747,7 @@ class RegressionScheduler:
                 self._batch_sessions.pop(session_key, None)
                 out.extend(self._run_serial(group, derivative))
                 continue
+            merge_engine_stats(self.engine_stats, batch.stats())
             for (request, _image, _tgt), result, lane in zip(
                 group, results, batch.last_lanes
             ):
@@ -821,11 +851,13 @@ class RegressionScheduler:
                     except Exception as exc:
                         self._pool_job_failed(job, exc, jobs, out, derivative)
                     else:
+                        pairs, totals = batch_result
+                        merge_engine_stats(self.engine_stats, totals)
                         out.extend(
                             RunOutcome(
                                 request, result, retried=job.retried
                             )
-                            for request, result in batch_result
+                            for request, result in pairs
                         )
                 if broken:
                     # A broken pool dooms every inflight future: requeue

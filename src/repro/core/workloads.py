@@ -313,6 +313,65 @@ _main:
     )
 
 
+_WORD = 0xFFFF_FFFF
+
+
+def _xorshift_checksum(seed: int, loops: int) -> int:
+    """Python mirror of the ``compute_burn_test`` kernel: xorshift32
+    state updates with a running additive checksum, all arithmetic
+    masked to the 32-bit register width."""
+    x = seed & _WORD
+    acc = 0
+    for _ in range(loops):
+        x ^= (x << 13) & _WORD
+        x ^= x >> 17
+        x ^= (x << 5) & _WORD
+        acc = (acc + x) & _WORD
+    return acc
+
+
+def compute_burn_test(
+    index: int, loops: int = 4096, seed: int = PATTERN_SEED
+) -> TestCell:
+    """ALU-saturated burn: *loops* xorshift32 rounds with a running
+    checksum, verified against the Python mirror of the kernel.  Every
+    iteration does real data-dependent arithmetic, so no closed form
+    (and no idle fast-forward) applies — an emulator goes faster here
+    only by retiring the ALU work itself faster, which is the workload
+    the template JIT is benchmarked on."""
+    expect = _xorshift_checksum(seed, loops)
+    source = f"""\
+;; compute burn test {index}: {loops} xorshift32+checksum rounds
+.INCLUDE Globals.inc
+COMPUTE_LOOPS .EQU {loops}
+COMPUTE_SEED .EQU {seed:#x}
+COMPUTE_EXPECT .EQU {expect:#x}
+_main:
+    LOAD d2, COMPUTE_SEED
+    LOAD d3, 0
+    LOAD d6, COMPUTE_LOOPS
+compute_loop:
+    SHLI d4, d2, 13
+    XOR d2, d2, d4
+    SHRI d5, d2, 17
+    XOR d2, d2, d5
+    SHLI d4, d2, 5
+    XOR d2, d2, d4
+    ADD d3, d3, d2
+    DJNZ d6, compute_loop
+    MOV d4, d3
+    LOAD d5, COMPUTE_EXPECT
+    CALL Base_Check_EQ
+    JMP Base_Report_Pass
+"""
+    return TestCell(
+        name=f"TEST_COMPUTE_BURN_{index:03d}",
+        source=source,
+        description=f"{loops} xorshift32 rounds with checksum",
+        testplan_ids=(f"COMPUTE_{index:03d}",),
+    )
+
+
 def timer_irq_test() -> TestCell:
     source = """\
 ;; timer interrupt test: two ticks must be counted by the global handler
@@ -561,6 +620,28 @@ def make_delay_environment(
         env.add_test(timer_delay_test(index, ticks=ticks))
     for index, loops in enumerate(spin_loops, 1):
         env.add_test(spin_burn_test(index, loops=loops))
+    return env
+
+
+def make_compute_environment(
+    compute_loops: tuple[int, ...] = (2_000, 20_000),
+    derivatives: list[Derivative] | None = None,
+    targets: list[Target] | None = None,
+    global_layer: GlobalLayer | None = None,
+) -> ModuleTestEnvironment:
+    """Compute-heavy module environment: ALU-saturated xorshift burns
+    where every retired instruction does data-dependent work.  The
+    closed-form warps of the delay environment cannot elide anything
+    here, so this is the workload the template JIT is benchmarked (and
+    equivalence-tested) on."""
+    env = ModuleTestEnvironment(
+        "COMPUTE",
+        derivatives=derivatives,
+        targets=targets,
+        global_layer=global_layer,
+    )
+    for index, loops in enumerate(compute_loops, 1):
+        env.add_test(compute_burn_test(index, loops=loops))
     return env
 
 

@@ -1067,6 +1067,7 @@ class Superblock:
         "start", "body", "body_count", "body_cycles", "body_cycles_w",
         "terminator", "succ_taken", "succ_fall", "spin_reg", "spin_cost",
         "spin_cost_w", "fetch_events", "trace_tmpl", "trace_tmpl_w",
+        "heat", "jit_u", "jit_ot", "jit_ow",
     )
 
     def __init__(
@@ -1082,6 +1083,13 @@ class Superblock:
         self.terminator = terminator
         self.succ_taken: Superblock | None = None
         self.succ_fall: Superblock | None = None
+        #: JIT hotness counter and compiled-chain variant slots (set by
+        #: ``isa/jit.py`` when a chain headed here crosses the replay
+        #: threshold): unobserved, observed, observed + wait-charging.
+        self.heat = 0
+        self.jit_u = None
+        self.jit_ot = None
+        self.jit_ow = None
         fetch_events: tuple[tuple[str, int, int, int], ...] = ()
         for entry in body:
             fetch_events += entry.fetch_events
@@ -1184,7 +1192,7 @@ class DecodeCache:
     """
 
     __slots__ = ("_entries", "_skip", "_segments", "_miss_lock",
-                 "_blocks", "hits", "misses")
+                 "_blocks", "hits", "misses", "jit_chains")
 
     def __init__(
         self,
@@ -1217,6 +1225,8 @@ class DecodeCache:
         self._miss_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Compiled JIT chains installed over this cache's blocks.
+        self.jit_chains = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -1278,6 +1288,24 @@ class DecodeCache:
                 break
             entry = self.get(entry.next_pc)
         return Superblock(pc, tuple(body), terminator)
+
+    def flush_chains(self) -> int:
+        """Drop every compiled JIT chain (and reset hotness) over this
+        cache's blocks; returns the number of chains dropped.  The
+        blocks themselves stay valid — image bytes are immutable — so
+        re-heated chains recompile to identical code.  Exposed for the
+        registry/invalidation layer and tests; per-run invalidation
+        (``cut_block``, epoch flush) needs no per-chain action because
+        generated code re-reads the live deadline at every boundary.
+        """
+        dropped = 0
+        for block in self._blocks.values():
+            if block.jit_u is not None:
+                dropped += 1
+            block.jit_u = block.jit_ot = block.jit_ow = None
+            block.heat = 0
+        self.jit_chains = 0
+        return dropped
 
     def predecode_all(self) -> int:
         """Eagerly decode every aligned word (benchmarks/tools); returns
@@ -1363,9 +1391,15 @@ class DecodeCache:
 
 
 #: digest-keyed registry so the six platforms of a regression (and many
-#: runs of one session) share decode work for the same linked image.
+#: runs of one session) share decode work — predecoded entries,
+#: superblocks and compiled JIT chains — for the same linked image.
+#: Bounded LRU: the dict's insertion order is recency order (every hit
+#: re-inserts), so warm ``BatchSession`` pools cycling through many
+#: images evict the coldest cache instead of growing without limit.
 _REGISTRY: dict[tuple, DecodeCache] = {}
 _REGISTRY_LIMIT = 256
+_REGISTRY_LOCK = threading.Lock()
+_REGISTRY_EVICTIONS = 0
 
 
 def decode_cache_for(
@@ -1379,12 +1413,26 @@ def decode_cache_for(
     Keyed by the image's content digest plus the region bounds and fetch
     wait states, so distinct derivatives (different memory maps) never
     collide and cycle-accurate platforms see correct fetch costs.
+    Resolving a cache marks it most-recently-used; when the registry is
+    full the least-recently-resolved cache is evicted (dropping its
+    blocks and compiled chains with it).
     """
+    global _REGISTRY_EVICTIONS
     key = (image.digest(), region_base, region_end, wait_states)
-    cache = _REGISTRY.get(key)
-    if cache is None:
-        if len(_REGISTRY) >= _REGISTRY_LIMIT:
-            _REGISTRY.pop(next(iter(_REGISTRY)))
-        cache = DecodeCache(image, region_base, region_end, wait_states)
+    with _REGISTRY_LOCK:
+        cache = _REGISTRY.pop(key, None)
+        if cache is None:
+            while len(_REGISTRY) >= _REGISTRY_LIMIT:
+                _REGISTRY.pop(next(iter(_REGISTRY)))
+                _REGISTRY_EVICTIONS += 1
+            cache = DecodeCache(image, region_base, region_end, wait_states)
         _REGISTRY[key] = cache
     return cache
+
+
+def registry_stats() -> dict[str, int]:
+    """Registry occupancy gauges for ``stats()`` surfaces."""
+    return {
+        "registry_size": len(_REGISTRY),
+        "registry_evictions": _REGISTRY_EVICTIONS,
+    }

@@ -131,6 +131,13 @@ class Platform(ABC):
     #: ``use_block_run=False`` run the reference per-instruction
     #: stream.
     use_fast_forward: bool = True
+    #: When True, hot pc-validated superblock chains are promoted to
+    #: generated Python closures (:mod:`repro.isa.jit`) with operands,
+    #: branch targets and cycle costs baked in as constants — one
+    #: interrupt/limit/horizon probe per block boundary preserved
+    #: exactly.  False keeps the ISSUE 5 superblock engine as the
+    #: byte-identity reference baseline.
+    use_jit: bool = True
 
     last_soc: SystemOnChip | None = None
     last_cpu: CpuCore | None = None

@@ -39,6 +39,10 @@ from repro.isa.decodecache import (
 )
 from repro.isa.encoding import decode_word, opcode_of, sign_extend_16
 from repro.isa.instructions import Opcode, lookup_opcode
+from repro.isa.jit import (
+    JIT_THRESHOLD as _JIT_THRESHOLD,
+    compile_chain as _jit_compile_chain,
+)
 from repro.isa.registers import (
     RegisterFile,
     STACK_POINTER_INDEX,
@@ -205,6 +209,18 @@ class CpuCore:
         #: ``use_block_run=False`` sessions still take the reference
         #: per-instruction retire stream.
         self.use_fast_forward = True
+        #: When True (the default), hot superblock chains are promoted
+        #: to compiled template-JIT functions (``isa/jit.py``): operand
+        #: fields, branch targets and cycle costs baked as constants,
+        #: one deadline/limit/interrupt probe per block boundary.  When
+        #: False, the superblock loops run every block entry-by-entry —
+        #: the ISSUE 5 engine, kept as the byte-identity reference.
+        self.use_jit = True
+        #: JIT chains compiled on this core's trigger (telemetry).
+        self.jit_chains = 0
+        #: Instructions retired inside compiled JIT chains (telemetry:
+        #: nonzero proves chains actually executed, not just compiled).
+        self.jit_exec_steps = 0
         #: Idle-spin warps performed (telemetry for tests/benchmarks).
         self.ff_warps = 0
         #: Superblocks executed through the block engine (telemetry:
@@ -245,6 +261,8 @@ class CpuCore:
         self.sb_blocks = 0
         self.sb_replays = 0
         self.sb_fallback_steps = 0
+        self.jit_chains = 0
+        self.jit_exec_steps = 0
         self._sb_resume = None
         self._sb_epoch += 1
 
@@ -276,6 +294,8 @@ class CpuCore:
             "sb_blocks": self.sb_blocks,
             "sb_replays": self.sb_replays,
             "sb_fallback_steps": self.sb_fallback_steps,
+            "jit_chains": self.jit_chains,
+            "jit_exec_steps": self.jit_exec_steps,
             "trace": (
                 None
                 if trace is None
@@ -300,6 +320,8 @@ class CpuCore:
         self.sb_blocks = state["sb_blocks"]
         self.sb_replays = state["sb_replays"]
         self.sb_fallback_steps = state["sb_fallback_steps"]
+        self.jit_chains = state["jit_chains"]
+        self.jit_exec_steps = state["jit_exec_steps"]
         if state["trace"] is None:
             self.trace = None
         else:
@@ -809,6 +831,7 @@ class CpuCore:
         cache = self.decode_cache
         block_at = cache.block_at
         fast_forward = self.use_fast_forward
+        use_jit = self.use_jit
         epoch = self._sb_epoch
         resume = self._sb_resume
         sb = resume[1] if resume is not None and resume[0] is cache else None
@@ -831,6 +854,29 @@ class CpuCore:
                     if deadline is not None and self.cycles >= deadline:
                         break
                     continue
+            if use_jit:
+                fn = sb.jit_u
+                if fn is None:
+                    heat = sb.heat + 1
+                    sb.heat = heat
+                    if heat == _JIT_THRESHOLD:
+                        self.jit_chains += _jit_compile_chain(cache, sb)
+                        fn = sb.jit_u
+                if fn is not None:
+                    blocks = fn(self, limit)
+                    if blocks:
+                        self.sb_blocks += blocks
+                        delta = self.instructions_retired - retired
+                        self.jit_exec_steps += delta
+                        cache.hits += delta
+                        sb = None
+                        deadline = self._block_deadline
+                        if deadline is not None and self.cycles >= deadline:
+                            break
+                        continue
+                    # Zero blocks: the entry precheck refused to start
+                    # (window narrower than the head's body) — take the
+                    # interpreter's narrow path below.
             self.sb_blocks += 1
             if fast_forward and sb.spin_reg >= 0:
                 counter = regs.data[sb.spin_reg]
@@ -967,6 +1013,7 @@ class CpuCore:
         cache = self.decode_cache
         block_at = cache.block_at
         fast_forward = self.use_fast_forward
+        use_jit = self.use_jit
         epoch = self._sb_epoch
         resume = self._sb_resume
         sb = resume[1] if resume is not None and resume[0] is cache else None
@@ -994,6 +1041,31 @@ class CpuCore:
                     if deadline is not None and self.cycles >= deadline:
                         break
                     continue
+            if use_jit and not self._pending_waits:
+                # Interrupt-entry wait debt takes the single-entry path
+                # below (a baked template cannot carry it), exactly as
+                # the template-replay fast path requires.
+                fn = sb.jit_ow if charge else sb.jit_ot
+                if fn is None:
+                    heat = sb.heat + 1
+                    sb.heat = heat
+                    if heat == _JIT_THRESHOLD:
+                        self.jit_chains += _jit_compile_chain(cache, sb)
+                        fn = sb.jit_ow if charge else sb.jit_ot
+                if fn is not None:
+                    blocks = fn(self, limit)
+                    if blocks:
+                        self.sb_blocks += blocks
+                        delta = self.instructions_retired - retired
+                        self.jit_exec_steps += delta
+                        cache.hits += delta
+                        sb = None
+                        deadline = self._block_deadline
+                        if deadline is not None and self.cycles >= deadline:
+                            break
+                        continue
+                    # Zero blocks: the entry precheck refused to start —
+                    # take the narrow path below.
             self.sb_blocks += 1
             pending = self._pending_waits
             if fast_forward and sb.spin_reg >= 0 and not pending:

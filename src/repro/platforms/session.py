@@ -141,6 +141,7 @@ class ExecutionSession:
         use_block_run: bool | None = None,
         use_superblocks: bool | None = None,
         use_fast_forward: bool | None = None,
+        use_jit: bool | None = None,
         injector=None,
     ):
         self.platform = platform
@@ -176,6 +177,11 @@ class ExecutionSession:
             if use_fast_forward is None
             else use_fast_forward
         )
+        self.cpu.use_jit = (
+            getattr(platform, "use_jit", True)
+            if use_jit is None
+            else use_jit
+        )
         self.runs_completed = 0
         #: Batch telemetry of the most recent run this session led
         #: (scalar runs leave all three at zero).
@@ -200,10 +206,16 @@ class ExecutionSession:
         mirror that telemetry for the batched lock-step engine: lanes
         this session led in its last batch cohort, leader blocks driven
         for them, and lanes peeled off to the scalar oracle.
+        ``jit_chains`` counts chain compiles this core triggered and
+        ``jit_exec_steps`` instructions retired inside compiled chain
+        bodies; ``registry_size``/``registry_evictions`` are gauges of
+        the shared digest-keyed decode registry (LRU-bounded).
         """
+        from repro.isa.decodecache import registry_stats
+
         cpu = self.cpu
         cache = cpu.decode_cache
-        return {
+        stats = {
             "ff_warps": cpu.ff_warps,
             "sb_blocks": cpu.sb_blocks,
             "sb_replays": cpu.sb_replays,
@@ -213,7 +225,11 @@ class ExecutionSession:
             "batch_lanes": self.batch_lanes,
             "batch_steps": self.batch_steps,
             "peel_events": self.peel_events,
+            "jit_chains": cpu.jit_chains,
+            "jit_exec_steps": cpu.jit_exec_steps,
         }
+        stats.update(registry_stats())
+        return stats
 
     # -- run phases --------------------------------------------------------
     #
@@ -612,6 +628,7 @@ class BatchSession:
         use_block_run: bool | None = None,
         use_superblocks: bool | None = None,
         use_fast_forward: bool | None = None,
+        use_jit: bool | None = None,
         injector=None,
     ):
         self.derivative = derivative
@@ -623,6 +640,7 @@ class BatchSession:
             "use_block_run": use_block_run,
             "use_superblocks": use_superblocks,
             "use_fast_forward": use_fast_forward,
+            "use_jit": use_jit,
         }
         #: Optional :class:`repro.core.faults.FaultInjector`, shared by
         #: every lane session this batch creates.
@@ -650,11 +668,16 @@ class BatchSession:
             "sb_fallback_steps": 0,
             "decode_hits": 0,
             "decode_misses": 0,
+            "jit_chains": 0,
+            "jit_exec_steps": 0,
         }
         for session in self._leader_sessions:
             stats = session.stats()
             for key in totals:
                 totals[key] += stats[key]
+        from repro.isa.decodecache import registry_stats
+
+        totals.update(registry_stats())
         totals["batch_lanes"] = self.batch_lanes
         totals["batch_steps"] = self.batch_steps
         totals["peel_events"] = self.peel_events
@@ -836,6 +859,7 @@ class BatchSession:
                 "use_fast_forward",
                 getattr(platform, "use_fast_forward", True),
             ),
+            effective("use_jit", getattr(platform, "use_jit", True)),
         )
 
     def _session_for(self, lane: BatchLane) -> ExecutionSession:

@@ -84,6 +84,20 @@ class TestRegress:
         out = capsys.readouterr().out
         assert "NVM/" in out and "UART/" in out
 
+    def test_engine_stats_summary(self, workspace, capsys):
+        code = main(
+            [
+                "regress", str(workspace), "NVM",
+                "--targets", "golden", "--engine-stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine-stats:" in out
+        assert "sb_replays=" in out
+        assert "jit_exec_steps=" in out
+        assert "registry_size=" in out
+
 
 class TestPort:
     def test_port_command(self, capsys):
