@@ -1,0 +1,296 @@
+"""Regression-as-a-service benchmarks (ISSUE 9).
+
+The serving daemon exists to amortise cold-start: a long-lived
+:class:`~repro.service.daemon.RegressionService` holds warm
+``ExecutionSession`` pools, the digest-keyed decode registry and a
+fingerprint-validated environment cache (assembled/linked build
+artifacts) across requests.  This bench records the two acceptance
+numbers ISSUE 9 ties the service to:
+
+- **warm-pool speedup**: the same scenario pack submitted to a warm
+  long-lived service vs a cold per-request service (decode registry
+  cleared, fresh pools, fresh environment cache — what every one-shot
+  CLI invocation pays).  Floor: warm must be >= 2x cold, the committed
+  ``bench_trend`` gate;
+- **chaos accounting**: a live service takes a stream of submissions
+  with faults armed at the service-layer sites (admission, pool lease,
+  journal write) plus execution/cache chaos; every submission is either
+  refused explicitly or terminates with a ``done``/``error`` event,
+  the accounting balances (accepted == completed + failed) and the
+  journal holds no pending jobs afterwards.
+
+Emits ``BENCH_serving.json`` next to the repository root.  Also
+runnable as a script: ``python benchmarks/bench_serving.py [--quick]``
+— the CI perf-smoke job uses ``--quick`` and fails the build if the
+warm-pool gate or any accounting assertion trips.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.faults import (
+    ACTION_CORRUPT,
+    ACTION_RAISE,
+    FaultPlan,
+    FaultSpec,
+    SITE_CACHE_READ,
+    SITE_JOURNAL_WRITE,
+    SITE_POOL_LEASE,
+    SITE_SERVICE_ACCEPT,
+    SITE_SESSION_RUN,
+)
+from repro.core.scheduler import ResultCache
+from repro.core.system_env import make_default_system
+from repro.core.workspace import write_system_environment
+from repro.isa.decodecache import reset_registry
+from repro.service import (
+    JobJournal,
+    RegressionService,
+    ServiceError,
+    ServiceUnavailable,
+)
+
+from conftest import shape
+from _harness import engine_matrix, BenchResults
+
+RESULTS = BenchResults("serving")
+RESULTS["engine_matrix"] = engine_matrix(
+    candidate={
+        "serving": "warm daemon",
+        "session_pool": True,
+        "env_cache": True,
+        "decode_registry": "warm",
+    },
+    reference={
+        "serving": "cold per-request",
+        "session_pool": False,
+        "env_cache": False,
+        "decode_registry": "cleared",
+    },
+)
+
+#: Full (pytest/CI bench) and quick (perf-smoke gate) configurations.
+FULL = {
+    "nvm_tests": 2,
+    "uart_tests": 1,
+    "repeats": 3,
+    "min_speedup": 2.0,
+    "mode": "full",
+}
+QUICK = {
+    "nvm_tests": 1,
+    "uart_tests": 0,
+    "repeats": 2,
+    "min_speedup": 2.0,
+    "mode": "quick",
+}
+
+
+def make_workspace(config, root: Path) -> Path:
+    system = make_default_system(
+        nvm_tests=config["nvm_tests"], uart_tests=config["uart_tests"]
+    )
+    return write_system_environment(system, root / "ws")
+
+
+def bench_pack(config) -> dict:
+    return {
+        "schema": 1,
+        "name": "bench-serving",
+        "modules": ["NVM"],
+        "targets": ["golden", "rtl"],
+        "executor": "serial",
+    }
+
+
+async def timed_submission(service: RegressionService, pack: dict) -> float:
+    """One accepted submission driven to its terminal event."""
+    start = time.perf_counter()
+    terminal = None
+    async for event in service.submit(pack):
+        terminal = event["event"]
+    elapsed = time.perf_counter() - start
+    assert terminal == "done", f"submission ended with {terminal!r}"
+    return elapsed
+
+
+def run_warm_pool(config) -> dict:
+    """Warm long-lived service vs cold per-request service on the same
+    scenario pack."""
+    with tempfile.TemporaryDirectory(prefix="bench_serving_") as tmp:
+        workspace = make_workspace(config, Path(tmp))
+        pack = bench_pack(config)
+
+        async def cold_samples() -> list[float]:
+            samples = []
+            for _ in range(config["repeats"]):
+                # What a one-shot CLI run pays: no warm sessions, no
+                # cached environments, no predecoded images.
+                reset_registry()
+                service = RegressionService(workspace)
+                samples.append(await timed_submission(service, pack))
+                await service.drain()
+            return samples
+
+        async def warm_samples() -> list[float]:
+            service = RegressionService(workspace)
+            await timed_submission(service, pack)  # warm everything
+            samples = [
+                await timed_submission(service, pack)
+                for _ in range(config["repeats"])
+            ]
+            stats = service.stats()
+            await service.drain()
+            assert stats["pool"]["warm_hits"] > 0
+            return samples
+
+        cold = min(asyncio.run(cold_samples()))
+        warm = min(asyncio.run(warm_samples()))
+
+    return {
+        "cold_ms": round(cold * 1e3, 3),
+        "warm_ms": round(warm * 1e3, 3),
+        "speedup": round(cold / warm, 3),
+        "min_required": config["min_speedup"],
+        "mode": config["mode"],
+    }
+
+
+def chaos_plan() -> FaultPlan:
+    """Service-layer chaos: the first journal write fails (the job is
+    refused, not lost), one admission fault, one pool-lease failure
+    (retried by the supervision ladder), two engine crashes and one
+    corrupt cache read."""
+    return FaultPlan(seed=11, specs=[
+        FaultSpec(site=SITE_JOURNAL_WRITE, action=ACTION_RAISE, times=1),
+        FaultSpec(site=SITE_SERVICE_ACCEPT, action=ACTION_RAISE,
+                  after=1, times=1),
+        FaultSpec(site=SITE_POOL_LEASE, action=ACTION_RAISE, times=1),
+        FaultSpec(site=SITE_SESSION_RUN, action=ACTION_RAISE, times=2),
+        FaultSpec(site=SITE_CACHE_READ, action=ACTION_CORRUPT, times=1),
+    ])
+
+
+def run_chaos(config) -> dict:
+    """A live service under service-layer chaos: every submission is
+    refused explicitly or terminates, and the books balance."""
+    submissions = 6
+    with tempfile.TemporaryDirectory(prefix="bench_serving_") as tmp:
+        workspace = make_workspace(config, Path(tmp))
+        pack = bench_pack(config)
+
+        async def drive():
+            service = RegressionService(
+                workspace,
+                journal=JobJournal(Path(tmp) / "journal"),
+                cache=ResultCache(Path(tmp) / "cache"),
+                fault_plan=chaos_plan(),
+            )
+            refused = 0
+            terminals = []
+            for _ in range(submissions):
+                try:
+                    terminal = None
+                    async for event in service.submit(pack):
+                        terminal = event["event"]
+                    terminals.append(terminal)
+                except (ServiceUnavailable, ServiceError):
+                    refused += 1
+            stats = service.stats()
+            await service.drain()
+            return refused, terminals, stats
+
+        refused, terminals, stats = asyncio.run(drive())
+
+    # Nothing hangs, nothing vanishes: each submission was refused
+    # explicitly or reached a terminal event.
+    assert refused + len(terminals) == submissions
+    assert all(terminal in ("done", "error") for terminal in terminals)
+    jobs = stats["jobs"]
+    assert jobs["accepted"] == jobs["completed"] + jobs["failed"]
+    assert stats["journal"]["pending"] == 0
+    assert refused >= 2  # the journal-write and admission faults
+
+    return {
+        "submissions": submissions,
+        "refused": refused,
+        "accepted": jobs["accepted"],
+        "completed": jobs["completed"],
+        "failed": jobs["failed"],
+        "pool_recycled": stats["pool"]["recycled"],
+        "cache_corrupt": stats["cache"]["corrupt"],
+        "journal_pending": stats["journal"]["pending"],
+        "mode": config["mode"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (full configuration)
+# ---------------------------------------------------------------------------
+
+def test_warm_pool_speedup_gate():
+    numbers = run_warm_pool(FULL)
+    RESULTS["warm_pool"] = numbers
+    shape(
+        f"serving: warm daemon at {numbers['speedup']:.2f}x of cold "
+        f"per-request ({numbers['warm_ms']}ms vs {numbers['cold_ms']}ms, "
+        f"floor {FULL['min_speedup']}x)"
+    )
+    assert numbers["speedup"] >= FULL["min_speedup"], (
+        f"warm-pool gate: {numbers['speedup']:.2f}x below "
+        f"{FULL['min_speedup']}x"
+    )
+
+
+def test_chaos_accounting_and_emit_json():
+    numbers = run_chaos(FULL)
+    RESULTS["chaos"] = numbers
+    shape(
+        f"serving: {numbers['submissions']} chaos submissions -> "
+        f"{numbers['refused']} refused explicitly, "
+        f"{numbers['completed']} completed, {numbers['failed']} failed, "
+        f"0 pending"
+    )
+    path = RESULTS.emit()
+    shape(f"serving: wrote {path.name}")
+
+
+# ---------------------------------------------------------------------------
+# script mode: the CI perf-smoke gate
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    config = QUICK if quick else FULL
+    try:
+        warm_pool = run_warm_pool(config)
+        chaos = run_chaos(config)
+    except AssertionError as failure:
+        print(f"FAIL: {failure}")
+        return 1
+    RESULTS["warm_pool"] = warm_pool
+    RESULTS["chaos"] = chaos
+    path = RESULTS.emit()
+    print(
+        f"serving[{config['mode']}]: warm daemon at "
+        f"{warm_pool['speedup']}x of cold per-request (floor "
+        f"{config['min_speedup']}x), chaos: {chaos['refused']} refused / "
+        f"{chaos['completed']} completed / {chaos['failed']} failed "
+        f"of {chaos['submissions']} -> {path.name}"
+    )
+    if warm_pool["speedup"] < config["min_speedup"]:
+        print(
+            f"FAIL: warm daemon {warm_pool['speedup']}x below the "
+            f"{config['min_speedup']}x floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -41,6 +41,7 @@ BENCH_PR: dict[str, int] = {
     "batch_engine": 6,
     "resilience": 7,
     "jit": 8,
+    "serving": 9,
 }
 
 #: Committed speedup floors: dotted figure path -> the minimum each
@@ -64,6 +65,9 @@ BENCH_FLOORS: dict[str, dict[str, float]] = {
     # PR 8 acceptance: >= 2x over the superblock engine on the
     # compute-heavy workloads (quick mode embeds its own 1.5x floor).
     "jit": {"compute.speedup": 2.0},
+    # PR 9 acceptance: a warm serving daemon answers the same scenario
+    # pack >= 2x faster than a cold per-request service.
+    "serving": {"warm_pool.speedup": 2.0},
 }
 
 #: Keys whose numeric values are trajectory figures.

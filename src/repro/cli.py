@@ -17,6 +17,10 @@ command        effect
 ``grep-plan``  search the plain-text test plans (the paper's stated
                reason for TESTPLAN.TXT being plain text)
 ``check``      run the Figure 2 abuse checker over a module environment
+``serve``      run the always-available regression daemon (warm session
+               pools, crash-safe journal, NDJSON streaming)
+``submit``     submit a scenario pack to a running daemon and stream
+               the per-cell verdicts back
 =============  ============================================================
 
 Examples::
@@ -150,6 +154,13 @@ def cmd_regress(args: argparse.Namespace) -> int:
         stats = scheduler.engine_stats
         line = " ".join(f"{key}={stats[key]}" for key in sorted(stats))
         print(f"engine-stats: {line or '(no runs executed)'}")
+    if cache is not None and args.cache_prune:
+        removed = cache.prune(
+            max_entries=args.cache_max_entries, max_age=args.cache_max_age
+        )
+        stats = cache.stats()
+        line = " ".join(f"{key}={stats[key]}" for key in sorted(stats))
+        print(f"cache-prune: removed {removed} file(s); {line}")
     return 0 if report.clean else 1
 
 
@@ -186,6 +197,89 @@ def cmd_check(args: argparse.Namespace) -> int:
     for violation in violations:
         print(f"violation: {violation}")
     return 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import JobJournal, RegressionService, WarmSessionPool
+    from repro.service.daemon import run_daemon
+
+    system_dir = _system_dir(args.directory)
+    journal = JobJournal(args.journal_dir) if args.journal_dir else None
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    service = RegressionService(
+        system_dir,
+        pool=WarmSessionPool(max_idle=args.pool_size),
+        journal=journal,
+        cache=cache,
+        max_pending=args.max_pending,
+        max_active=args.max_active,
+        default_deadline=args.deadline,
+    )
+    return asyncio.run(run_daemon(service, args.host, args.port))
+
+
+def _build_pack(args: argparse.Namespace) -> dict:
+    import json
+
+    if args.pack:
+        return json.loads(Path(args.pack).read_text())
+    pack: dict = {"schema": 1, "name": args.name}
+    if args.module:
+        pack["modules"] = [args.module]
+    if args.cells:
+        pack["cells"] = args.cells.split(",")
+    if args.targets:
+        pack["targets"] = args.targets.split(",")
+    if args.deadline is not None:
+        pack["deadline"] = args.deadline
+    pack["derivative"] = args.derivative
+    pack["executor"] = args.executor
+    return pack
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Stream one scenario pack through a running daemon (the CI serve
+    smoke test is exactly this command)."""
+    import http.client
+    import json
+
+    body = json.dumps(_build_pack(args)).encode()
+    connection = http.client.HTTPConnection(
+        args.host, args.port, timeout=args.timeout
+    )
+    try:
+        connection.request(
+            "POST",
+            "/submit",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        if response.status != 200:
+            detail = response.read().decode(errors="replace").strip()
+            retry_after = response.getheader("Retry-After")
+            suffix = f" (Retry-After: {retry_after}s)" if retry_after else ""
+            print(
+                f"submit rejected: HTTP {response.status} {detail}{suffix}",
+                file=sys.stderr,
+            )
+            return 1
+        verdict = 1
+        for raw in response:
+            line = raw.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            print(json.dumps(event))
+            if event.get("event") == "done":
+                verdict = 0 if event.get("clean") else 1
+            elif event.get("event") == "error":
+                verdict = 1
+        return verdict
+    finally:
+        connection.close()
 
 
 def cmd_derivatives(args: argparse.Namespace) -> int:
@@ -297,6 +391,26 @@ def build_parser() -> argparse.ArgumentParser:
             "report summary"
         ),
     )
+    p_regress.add_argument(
+        "--cache-prune",
+        action="store_true",
+        help=(
+            "after the run, prune the result cache per --cache-max-* "
+            "and print the cache accounting"
+        ),
+    )
+    p_regress.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        help="prune: keep at most this many cached results (oldest go)",
+    )
+    p_regress.add_argument(
+        "--cache-max-age",
+        type=float,
+        default=None,
+        help="prune: drop cached results older than this many seconds",
+    )
     p_regress.set_defaults(func=cmd_regress)
 
     p_port = sub.add_parser(
@@ -320,6 +434,87 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--derivative", default="sc88a")
     p_check.add_argument("--target", default="golden")
     p_check.set_defaults(func=cmd_check)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the always-available regression daemon"
+    )
+    p_serve.add_argument("directory")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8787, help="0 picks a free port"
+    )
+    p_serve.add_argument(
+        "--journal-dir",
+        default=None,
+        help=(
+            "crash-safe job journal; accepted jobs replay from here "
+            "after a restart"
+        ),
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, help="shared persistent result cache"
+    )
+    p_serve.add_argument(
+        "--pool-size",
+        type=int,
+        default=12,
+        help="max idle warm sessions kept between requests",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=8,
+        help="admission bound; beyond it submissions shed with 503",
+    )
+    p_serve.add_argument(
+        "--max-active",
+        type=int,
+        default=1,
+        help="jobs executing concurrently (the rest wait admitted)",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-job wall-clock deadline in seconds",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a scenario pack to a running daemon"
+    )
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8787)
+    p_submit.add_argument(
+        "--pack", default=None, help="JSON scenario-pack file to submit"
+    )
+    p_submit.add_argument("--name", default="cli-submit")
+    p_submit.add_argument("--module", default=None)
+    p_submit.add_argument(
+        "--cells", default=None, help="comma-separated test cell names"
+    )
+    p_submit.add_argument(
+        "--targets", default=None, help="comma-separated target names"
+    )
+    p_submit.add_argument("--derivative", default="sc88a")
+    p_submit.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process", "batch"],
+        default="serial",
+    )
+    p_submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-job wall-clock deadline in seconds",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="client-side socket timeout in seconds",
+    )
+    p_submit.set_defaults(func=cmd_submit)
 
     p_derivatives = sub.add_parser(
         "derivatives", help="list the derivative catalogue"

@@ -36,6 +36,12 @@ site               fired from
                    ``{platform}#lane{i}``
 ``cache-read``     :meth:`ResultCache.get`, key = cache key
 ``cache-write``    :meth:`ResultCache.put`, key = cache key
+``service-accept`` :meth:`RegressionService.submit` (admission), key
+                   ``{job id}``
+``pool-lease``     :meth:`WarmSessionPool.lease` (checkout), key
+                   ``{target}/{derivative}``
+``journal-write``  :meth:`JobJournal.append` (durable accept/settle
+                   records), key ``{job id}``
 =================  ========================================================
 
 Actions
@@ -64,6 +70,9 @@ SITE_SESSION_RUN = "session-run"
 SITE_BATCH_PEEL = "batch-peel"
 SITE_CACHE_READ = "cache-read"
 SITE_CACHE_WRITE = "cache-write"
+SITE_SERVICE_ACCEPT = "service-accept"
+SITE_POOL_LEASE = "pool-lease"
+SITE_JOURNAL_WRITE = "journal-write"
 
 ALL_SITES = (
     SITE_WORKER_BOOT,
@@ -71,6 +80,9 @@ ALL_SITES = (
     SITE_BATCH_PEEL,
     SITE_CACHE_READ,
     SITE_CACHE_WRITE,
+    SITE_SERVICE_ACCEPT,
+    SITE_POOL_LEASE,
+    SITE_JOURNAL_WRITE,
 )
 
 ACTION_RAISE = "raise"

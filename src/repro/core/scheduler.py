@@ -223,10 +223,15 @@ class ResultCache:
     carries a SHA-256 checksum of its payload: a torn write, bit rot or
     injected corruption is detected on read, counted in :attr:`corrupt`
     (distinct from clean :attr:`misses`) and the bad file is renamed
-    aside to ``<key>.corrupt`` so it is never re-parsed — and re-failed
-    — on subsequent regressions.  Write failures are contained and
-    counted in :attr:`write_errors`: a cache that cannot persist a
-    verdict degrades to a cold cache, never to a failed regression.
+    aside to a unique ``<key>.<nonce>.corrupt`` name so it is never
+    re-parsed — and re-failed — on subsequent regressions, while
+    repeated corruption of the same key preserves every quarantined
+    file as forensic evidence (:attr:`quarantined` counts the distinct
+    files set aside).  Write failures are contained and counted in
+    :attr:`write_errors`: a cache that cannot persist a verdict
+    degrades to a cold cache, never to a failed regression.  A
+    long-lived owner (the serving daemon) bounds the directory with
+    :meth:`prune`.
     """
 
     def __init__(self, directory: str | Path, injector: FaultInjector | None = None):
@@ -236,6 +241,10 @@ class ResultCache:
         self.misses = 0
         self.corrupt = 0
         self.write_errors = 0
+        #: Distinct corrupt files successfully renamed aside.
+        self.quarantined = 0
+        #: Entries removed by :meth:`prune` over this cache's lifetime.
+        self.pruned = 0
         #: Optional chaos hook (:mod:`repro.core.faults`).
         self.injector = injector
 
@@ -278,11 +287,91 @@ class ResultCache:
         return self.directory / f"{key}.json"
 
     def _quarantine_file(self, path: Path) -> None:
-        """Move a corrupt entry off the hot path (best effort)."""
+        """Move a corrupt entry off the hot path (best effort).
+
+        The destination name is unique per quarantine (mkstemp picks
+        the nonce), so a key that corrupts twice sets *two* files
+        aside instead of the second ``os.replace`` silently destroying
+        the first — the forensic evidence of the earlier corruption.
+        """
         try:
-            os.replace(path, path.with_suffix(".corrupt"))
+            fd, destination = tempfile.mkstemp(
+                prefix=f"{path.stem}.", suffix=".corrupt", dir=self.directory
+            )
+            os.close(fd)
         except OSError:
-            pass
+            return
+        try:
+            os.replace(path, destination)
+        except OSError:
+            # Another process got there first (shared cache dirs):
+            # drop the placeholder rather than leaving an empty decoy.
+            try:
+                os.unlink(destination)
+            except OSError:
+                pass
+            return
+        self.quarantined += 1
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/corruption/maintenance counters, one flat dict —
+        the shape the CLI summary and the serving daemon's ``/stats``
+        endpoint expose."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+            "write_errors": self.write_errors,
+            "pruned": self.pruned,
+        }
+
+    def prune(
+        self,
+        max_entries: int | None = None,
+        max_age: float | None = None,
+        now: float | None = None,
+    ) -> int:
+        """Bound the on-disk cache; returns how many files were removed.
+
+        *max_age* (seconds) removes entries (and quarantined files)
+        older than the horizon; *max_entries* then removes the
+        oldest-modified entries beyond the count.  Either bound alone
+        is fine; with neither this is a no-op.  Removal races with
+        concurrent writers are benign: a vanished file is simply
+        skipped, and a just-rewritten entry has a fresh mtime that
+        keeps it.
+        """
+        removed = 0
+        if max_entries is None and max_age is None:
+            return removed
+        if now is None:
+            now = time.time()
+        entries: list[tuple[float, Path]] = []
+        for path in list(self.directory.glob("*.json")) + list(
+            self.directory.glob("*.corrupt")
+        ):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            if max_age is not None and now - mtime > max_age:
+                removed += self._remove_file(path)
+            elif path.suffix == ".json":
+                entries.append((mtime, path))
+        if max_entries is not None and len(entries) > max_entries:
+            entries.sort()
+            for _mtime, path in entries[: len(entries) - max_entries]:
+                removed += self._remove_file(path)
+        self.pruned += removed
+        return removed
+
+    def _remove_file(self, path: Path) -> int:
+        try:
+            os.unlink(path)
+        except OSError:
+            return 0
+        return 1
 
     def get(self, key: str) -> RunResult | None:
         path = self._path(key)
@@ -438,6 +527,7 @@ class RegressionScheduler:
         clock=time.monotonic,
         sleep=time.sleep,
         fault_plan: FaultPlan | None = None,
+        session_provider=None,
     ):
         if executor not in ("auto", "serial", "thread", "process", "batch"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -461,6 +551,18 @@ class RegressionScheduler:
         #: sleeping and with reproducible deadlines.
         self._clock = clock
         self._sleep = sleep
+        #: Optional warm-session source (``lease(target, derivative)``
+        #: / ``release(session, healthy=...)``) used by the serial
+        #: executor instead of constructing its own sessions — the
+        #: serving daemon's pool hook
+        #: (:class:`repro.service.pool.WarmSessionPool`).  Sessions the
+        #: executor saw fail are released unhealthy so the pool
+        #: rebuilds them instead of handing the wreck to the next
+        #: tenant.
+        self.session_provider = session_provider
+        #: Set for the duration of :meth:`run_system` when the caller
+        #: wants outcomes streamed as they materialise.
+        self._on_outcome = None
         self.fault_plan = fault_plan
         self._injector = (
             FaultInjector(fault_plan) if fault_plan is not None else None
@@ -492,29 +594,47 @@ class RegressionScheduler:
         self,
         environments: dict[str, ModuleTestEnvironment],
         derivative: Derivative,
+        on_outcome=None,
     ) -> RegressionReport:
+        """Run the matrix; *on_outcome* (if given) receives each
+        :class:`RunOutcome` as it materialises — cache hits up front,
+        executed cells in completion order — so a serving layer can
+        stream incremental results instead of waiting for the report.
+        The callback runs on the executing thread and must not raise.
+        """
         work = self._work_list(environments, derivative)
         outcomes: dict[RunRequest, RunOutcome] = {}
 
-        pending: list[tuple[RunRequest, MemoryImage, Target]] = []
-        cache_keys: dict[RunRequest, str] = {}
-        for request, image, tgt in work:
-            cached = self._probe_cache(request, image, tgt, derivative,
-                                       cache_keys)
-            if cached is not None:
-                outcomes[request] = cached
-            else:
-                pending.append((request, image, tgt))
+        self._on_outcome = on_outcome
+        try:
+            pending: list[tuple[RunRequest, MemoryImage, Target]] = []
+            cache_keys: dict[RunRequest, str] = {}
+            for request, image, tgt in work:
+                cached = self._probe_cache(request, image, tgt, derivative,
+                                           cache_keys)
+                if cached is not None:
+                    outcomes[request] = self._emit(cached)
+                else:
+                    pending.append((request, image, tgt))
 
-        for outcome in self._execute(pending, derivative):
-            outcomes[outcome.request] = outcome
-            key = cache_keys.get(outcome.request)
-            # Quarantined verdicts are infrastructure faults; replaying
-            # them from a warm cache would make one bad day permanent.
-            if key is not None and not outcome.quarantined:
-                self.cache.put(key, outcome.result)
+            for outcome in self._execute(pending, derivative):
+                outcomes[outcome.request] = outcome
+                key = cache_keys.get(outcome.request)
+                # Quarantined verdicts are infrastructure faults;
+                # replaying them from a warm cache would make one bad
+                # day permanent.
+                if key is not None and not outcome.quarantined:
+                    self.cache.put(key, outcome.result)
+        finally:
+            self._on_outcome = None
 
         return self._assemble_report(work, outcomes, derivative)
+
+    def _emit(self, outcome: RunOutcome) -> RunOutcome:
+        """Stream one materialised outcome to the run's callback."""
+        if self._on_outcome is not None:
+            self._on_outcome(outcome)
+        return outcome
 
     # -- work-list ---------------------------------------------------------
     def _work_list(
@@ -634,16 +754,18 @@ class RegressionScheduler:
             except Exception as exc:
                 sessions.pop(tgt.name, None)
                 out.append(
-                    self._quarantine_outcome(
-                        request,
-                        derivative,
-                        f"overridden platform failed: {exc}",
-                        retried=False,
+                    self._emit(
+                        self._quarantine_outcome(
+                            request,
+                            derivative,
+                            f"overridden platform failed: {exc}",
+                            retried=False,
+                        )
                     )
                 )
                 continue
             merge_engine_stats(self.engine_stats, session.stats())
-            out.append(RunOutcome(request, result))
+            out.append(self._emit(RunOutcome(request, result)))
         return out
 
     def _run_serial(
@@ -653,13 +775,47 @@ class RegressionScheduler:
     ) -> list[RunOutcome]:
         sessions: dict[str, ExecutionSession] = {}
         out = []
-        for request, image, tgt in items:
-            out.append(
-                self._supervised_scalar_run(
-                    sessions, request, image, tgt, derivative
+        try:
+            for request, image, tgt in items:
+                out.append(
+                    self._emit(
+                        self._supervised_scalar_run(
+                            sessions, request, image, tgt, derivative
+                        )
+                    )
                 )
-            )
+        finally:
+            # Sessions that survived the whole run go back to the warm
+            # pool healthy; failed ones were already released unhealthy
+            # by _discard_session.
+            if self.session_provider is not None:
+                for session in sessions.values():
+                    self.session_provider.release(session, healthy=True)
         return out
+
+    def _checkout_session(
+        self,
+        sessions: dict[str, ExecutionSession],
+        tgt: Target,
+        derivative: Derivative,
+    ) -> ExecutionSession:
+        session = sessions.get(tgt.name)
+        if session is None:
+            if self.session_provider is not None:
+                session = self.session_provider.lease(tgt, derivative)
+            else:
+                session = ExecutionSession(
+                    tgt.make_platform(), derivative, injector=self._injector
+                )
+            sessions[tgt.name] = session
+        return session
+
+    def _discard_session(
+        self, sessions: dict[str, ExecutionSession], tgt: Target
+    ) -> None:
+        session = sessions.pop(tgt.name, None)
+        if session is not None and self.session_provider is not None:
+            self.session_provider.release(session, healthy=False)
 
     def _supervised_scalar_run(
         self,
@@ -672,23 +828,22 @@ class RegressionScheduler:
         """One cell with the full retry/quarantine ladder, in-process.
 
         A failed attempt discards the target's session (the device is
-        in an unknown state) and rebuilds it for the retry.
+        in an unknown state — a provider-leased session goes back
+        unhealthy so the pool rebuilds it) and acquires a fresh one for
+        the retry.  A failing *checkout* (injected ``pool-lease``
+        chaos, a provider that cannot build a device) walks the same
+        ladder: the cell quarantines instead of the whole run dying.
         """
         attempt = 0
         retried = False
         while True:
-            session = sessions.get(tgt.name)
-            if session is None:
-                session = ExecutionSession(
-                    tgt.make_platform(), derivative, injector=self._injector
-                )
-                sessions[tgt.name] = session
             try:
+                session = self._checkout_session(sessions, tgt, derivative)
                 result = session.run(
                     image, max_instructions=self.max_instructions
                 )
             except Exception as exc:
-                sessions.pop(tgt.name, None)
+                self._discard_session(sessions, tgt)
                 attempt += 1
                 if attempt > self.retries:
                     return self._quarantine_outcome(
@@ -752,13 +907,15 @@ class RegressionScheduler:
                 group, results, batch.last_lanes
             ):
                 out.append(
-                    RunOutcome(
-                        request,
-                        result,
-                        batched=lane.batched,
-                        peeled=lane.peeled,
-                        degraded=lane.degraded,
-                        quarantined=lane.quarantined,
+                    self._emit(
+                        RunOutcome(
+                            request,
+                            result,
+                            batched=lane.batched,
+                            peeled=lane.peeled,
+                            degraded=lane.degraded,
+                            quarantined=lane.quarantined,
+                        )
                     )
                 )
         return out
@@ -854,8 +1011,10 @@ class RegressionScheduler:
                         pairs, totals = batch_result
                         merge_engine_stats(self.engine_stats, totals)
                         out.extend(
-                            RunOutcome(
-                                request, result, retried=job.retried
+                            self._emit(
+                                RunOutcome(
+                                    request, result, retried=job.retried
+                                )
                             )
                             for request, result in pairs
                         )
@@ -984,11 +1143,13 @@ class RegressionScheduler:
             return
         ((request, _image),) = job.requests
         out.append(
-            self._quarantine_outcome(
-                request,
-                derivative,
-                f"{job.attempt} attempt(s) failed, last: {exc}",
-                retried=job.retried,
+            self._emit(
+                self._quarantine_outcome(
+                    request,
+                    derivative,
+                    f"{job.attempt} attempt(s) failed, last: {exc}",
+                    retried=job.retried,
+                )
             )
         )
 

@@ -183,6 +183,10 @@ class ExecutionSession:
             else use_jit
         )
         self.runs_completed = 0
+        #: Latched when a run escaped through an exception: the device
+        #: is in an unknown state, so pools and schedulers must discard
+        #: the session instead of reusing it (:meth:`health_check`).
+        self.poisoned = False
         #: Batch telemetry of the most recent run this session led
         #: (scalar runs leave all three at zero).
         self.batch_lanes = 0
@@ -447,12 +451,57 @@ class ExecutionSession:
         stimulus: dict[int, int] | None = None,
     ):
         """Reset the device, load *image*, execute, observe a verdict."""
-        ctx = self.begin(image, max_instructions, entry_symbol, stimulus)
         try:
-            self.drive(ctx)
-        finally:
-            self.finish(ctx)
-        return self.observe(ctx)
+            ctx = self.begin(image, max_instructions, entry_symbol, stimulus)
+            try:
+                self.drive(ctx)
+            finally:
+                self.finish(ctx)
+            return self.observe(ctx)
+        except BaseException:
+            # An escaping exception (engine bug, injected chaos, a
+            # platform hook blowing up) leaves the device mid-run: mark
+            # the session so pool owners rebuild instead of reuse.
+            self.poisoned = True
+            raise
+
+    # -- pool-visible health/reset hooks -----------------------------------
+    #
+    # A warm pool (:mod:`repro.service.pool`) keeps sessions alive
+    # across requests; these hooks are its contract for telling a
+    # reusable device from one wedged or poisoned by a faulting run.
+
+    def health_check(self) -> bool:
+        """Cheap liveness probe for pool supervisors.
+
+        A healthy session is not poisoned and its device still resets
+        cleanly (a wedged peripheral model that raises out of
+        ``full_reset`` fails the probe rather than the next tenant's
+        run).  Non-destructive for a healthy session: :meth:`begin`
+        resets again before the next run anyway.
+        """
+        if self.poisoned:
+            return False
+        try:
+            if self.runs_completed:
+                self.soc.full_reset()
+            return not self.soc.watchdog_expired
+        except Exception:
+            self.poisoned = True
+            return False
+
+    def recycle(self) -> None:
+        """Restore the just-constructed device state between tenants.
+
+        Raises if the device cannot be restored — the pool then
+        discards the session.  A poisoned session cannot be recycled:
+        its device state is unknown by definition.
+        """
+        if self.poisoned:
+            raise RuntimeError("cannot recycle a poisoned session")
+        self.soc.full_reset()
+        self.cpu.trace = None
+        self._trace_forced = False
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,282 @@
+"""Crash-safe write-ahead journal of accepted serving jobs.
+
+The daemon's durability contract is small and absolute: once a
+submission has been acknowledged as *accepted*, a crash — up to and
+including ``kill -9`` — must not silently lose it.  The journal is the
+whole of that contract:
+
+- **accept before ack** — :meth:`JobJournal.accept` appends a
+  checksummed record and fsyncs it *before* the daemon acknowledges the
+  job; an append that fails refuses the submission explicitly instead
+  of accepting a job it cannot remember;
+- **settle after verdict** — :meth:`JobJournal.settle` appends the
+  job's terminal record (``completed`` or ``failed``); a job with an
+  accept record and no settle record is *pending* and is re-executed
+  on restart (:meth:`pending_jobs`), giving at-least-once semantics —
+  re-running an idempotent regression is cheap (the result cache makes
+  it nearly free), losing one is not;
+- **corruption is counted, never trusted** — every record rides in the
+  schema-2 :class:`~repro.core.scheduler.ResultCache` envelope style
+  (``{"schema", "checksum", "payload"}`` with a SHA-256 over the
+  payload text), so torn writes, bit rot and injected
+  ``journal-write`` chaos are detected line-by-line on replay,
+  counted in :attr:`corrupt_records` and surfaced in ``/stats`` —
+  an unreadable accept record degrades to an *explicit* loss report,
+  never a silent one;
+- **bounded segments** — records append to ``journal-<n>.ndjson``;
+  when a segment fills, the journal *compacts*: still-pending accept
+  records are rewritten into a fresh segment through the atomic
+  tempfile + ``os.replace`` idiom and older segments are deleted, so
+  a long-lived daemon's journal is bounded by its in-flight work, not
+  its uptime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+import threading
+from pathlib import Path
+
+#: Bump when record semantics change incompatibly.
+JOURNAL_SCHEMA = 1
+
+_SEGMENT_RE = re.compile(r"journal-(\d{8})\.ndjson$")
+
+KIND_ACCEPTED = "accepted"
+KIND_COMPLETED = "completed"
+KIND_FAILED = "failed"
+
+
+class JournalError(RuntimeError):
+    """The journal could not durably record an event."""
+
+
+def _envelope(payload_text: str) -> bytes:
+    body = {
+        "schema": JOURNAL_SCHEMA,
+        "checksum": hashlib.sha256(payload_text.encode()).hexdigest(),
+        "payload": payload_text,
+    }
+    return json.dumps(body).encode() + b"\n"
+
+
+def _open_envelope(line: bytes) -> dict | None:
+    """Parse + verify one journal line; ``None`` when corrupt."""
+    try:
+        body = json.loads(line)
+        payload_text = body["payload"]
+        if body["schema"] != JOURNAL_SCHEMA:
+            return None
+        checksum = hashlib.sha256(payload_text.encode()).hexdigest()
+        if checksum != body["checksum"]:
+            return None
+        payload = json.loads(payload_text)
+        if not isinstance(payload, dict) or "kind" not in payload:
+            return None
+        return payload
+    except Exception:
+        return None
+
+
+class JobJournal:
+    """Append-only, checksummed, segment-compacting job journal."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        injector=None,
+        segment_records: int = 256,
+        fsync: bool = True,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Optional :class:`repro.core.faults.FaultInjector` driving
+        #: the ``journal-write`` chaos site.
+        self.injector = injector
+        self.segment_records = max(1, int(segment_records))
+        self.fsync = fsync
+        #: job id -> accepted payload dict, in acceptance order.
+        self._pending: dict[str, dict] = {}
+        self.corrupt_records = 0
+        self.replayed_jobs = 0
+        self.accepted_jobs = 0
+        self.settled_jobs = 0
+        self.compactions = 0
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._segment_index = 0
+        self._records_in_segment = 0
+        self._handle = None
+        self._replay_and_open()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _segment_path(self, index: int) -> Path:
+        return self.directory / f"journal-{index:08d}.ndjson"
+
+    def _segments(self) -> list[tuple[int, Path]]:
+        found = []
+        for path in self.directory.iterdir():
+            match = _SEGMENT_RE.fullmatch(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    def _replay_and_open(self) -> None:
+        """Rebuild the pending set from disk, then open a compacted
+        active segment — the ``kill -9`` recovery path."""
+        for _index, path in self._segments():
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                self.corrupt_records += 1
+                continue
+            for line in raw.splitlines():
+                if not line.strip():
+                    continue
+                payload = _open_envelope(line)
+                if payload is None:
+                    self.corrupt_records += 1
+                    continue
+                kind = payload.get("kind")
+                job_id = payload.get("job")
+                if kind == KIND_ACCEPTED:
+                    self._pending[job_id] = payload.get("data", {})
+                elif kind in (KIND_COMPLETED, KIND_FAILED):
+                    self._pending.pop(job_id, None)
+        self.replayed_jobs = len(self._pending)
+        self._compact()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+    # -- append path -------------------------------------------------------
+    def _append(self, kind: str, job_id: str, data: dict) -> None:
+        """One durable record; raises :class:`JournalError` on any
+        failure so callers refuse work they cannot remember."""
+        self._seq += 1
+        payload_text = json.dumps(
+            {"kind": kind, "job": job_id, "seq": self._seq, "data": data},
+            sort_keys=True,
+        )
+        line = _envelope(payload_text)
+        try:
+            if self.injector is not None:
+                self.injector.fire("journal-write", job_id)
+                line = self.injector.mangle("journal-write", job_id, line)
+            if self._handle is None:
+                raise JournalError("journal is closed")
+            self._handle.write(line)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except JournalError:
+            raise
+        except Exception as exc:
+            raise JournalError(f"journal append failed: {exc}") from exc
+        self._records_in_segment += 1
+        if self._records_in_segment >= self.segment_records:
+            self._compact()
+
+    def accept(self, job_id: str, pack_data: dict) -> None:
+        """Durably record an accepted job *before* it is acknowledged."""
+        with self._lock:
+            self._append(KIND_ACCEPTED, job_id, pack_data)
+            self._pending[job_id] = pack_data
+            self.accepted_jobs += 1
+
+    def settle(self, job_id: str, status: str, summary: dict) -> bool:
+        """Record a job's terminal verdict (``completed``/``failed``).
+
+        Returns ``False`` instead of raising when the settle record
+        cannot be written: the job *did* finish, and the only cost of a
+        lost settle is a redundant re-run after a restart.
+        """
+        kind = KIND_COMPLETED if status == KIND_COMPLETED else KIND_FAILED
+        with self._lock:
+            try:
+                self._append(kind, job_id, summary)
+            except JournalError:
+                self._pending.pop(job_id, None)
+                return False
+            self._pending.pop(job_id, None)
+            self.settled_jobs += 1
+            return True
+
+    # -- recovery / maintenance --------------------------------------------
+    def pending_jobs(self) -> list[tuple[str, dict]]:
+        """Accepted-but-unsettled jobs in acceptance order."""
+        with self._lock:
+            return list(self._pending.items())
+
+    def _compact(self) -> None:
+        """Rewrite pending records into a fresh segment atomically and
+        drop the history (tempfile + ``os.replace``, so a crash
+        mid-compaction leaves either the old segments or the new one —
+        never a torn journal)."""
+        segments = self._segments()
+        next_index = (segments[-1][0] + 1) if segments else 0
+        path = self._segment_path(next_index)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".journal.", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                for job_id, data in self._pending.items():
+                    self._seq += 1
+                    payload_text = json.dumps(
+                        {
+                            "kind": KIND_ACCEPTED,
+                            "job": job_id,
+                            "seq": self._seq,
+                            "data": data,
+                        },
+                        sort_keys=True,
+                    )
+                    handle.write(_envelope(payload_text))
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+        for _index, old in segments:
+            if old != path:
+                try:
+                    os.unlink(old)
+                except OSError:
+                    pass
+        self._handle = open(path, "ab")
+        self._segment_index = next_index
+        self._records_in_segment = len(self._pending)
+        self.compactions += 1
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "pending": len(self._pending),
+                "accepted": self.accepted_jobs,
+                "settled": self.settled_jobs,
+                "replayed": self.replayed_jobs,
+                "corrupt_records": self.corrupt_records,
+                "compactions": self.compactions,
+                "segment_index": self._segment_index,
+            }
