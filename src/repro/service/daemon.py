@@ -217,6 +217,10 @@ class RegressionService:
         self._env_cache: dict = {}
         self._jobs: dict[str, _Job] = {}
         self._active = 0
+        #: Slots reserved by submissions awaiting their journal accept;
+        #: counted against admission so concurrent submits cannot all
+        #: pass the bound check during the await.
+        self._reserved = 0
         self._tasks: set[asyncio.Task] = set()
         self.draining = False
         self.jobs_accepted = 0
@@ -240,7 +244,7 @@ class RegressionService:
         job_id = f"job-{next(self._seq):06d}"
         if self.draining:
             raise ServiceUnavailable("draining", self.retry_after)
-        if self._active >= self.max_pending:
+        if self._active + self._reserved >= self.max_pending:
             self.jobs_shed += 1
             raise ServiceUnavailable(
                 f"admission queue full ({self._active} jobs pending)",
@@ -258,17 +262,24 @@ class RegressionService:
                 if pack.deadline is not None
                 else self.default_deadline
             )
-        if self.journal is not None:
-            try:
-                await asyncio.get_running_loop().run_in_executor(
-                    None, self.journal.accept, job_id, pack_to_dict(pack)
-                )
-            except JournalError as exc:
-                raise ServiceUnavailable(
-                    f"journal unavailable: {exc}", self.retry_after
-                ) from exc
-
-        job = self._start_job(job_id, pack, pack_to_dict(pack), deadline)
+        # Hold an admission slot across the journal await: the bound
+        # check above and _start_job's _active increment are separated
+        # by a suspension point, so without the reservation concurrent
+        # submits could all pass the check and exceed max_pending.
+        self._reserved += 1
+        try:
+            if self.journal is not None:
+                try:
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, self.journal.accept, job_id, pack_to_dict(pack)
+                    )
+                except JournalError as exc:
+                    raise ServiceUnavailable(
+                        f"journal unavailable: {exc}", self.retry_after
+                    ) from exc
+            job = self._start_job(job_id, pack, pack_to_dict(pack), deadline)
+        finally:
+            self._reserved -= 1
         queue: asyncio.Queue = asyncio.Queue()
         job.subscribers.append(queue)
         try:
@@ -362,7 +373,7 @@ class RegressionService:
             # is fail the job explicitly, stop streaming, and make
             # sure its sessions never re-enter the warm pool.
             provider.cancelled = True
-            self._finish_job(
+            await self._finish_job(
                 job,
                 "failed",
                 {
@@ -377,15 +388,15 @@ class RegressionService:
             future.add_done_callback(lambda f: f.exception())
             return
         except Exception as exc:
-            self._finish_job(
+            await self._finish_job(
                 job, "failed", {"error": f"{type(exc).__name__}: {exc}"}
             )
             return
         summary = _report_summary(report)
         summary["elapsed_s"] = round(self._clock() - started, 6)
-        self._finish_job(job, "completed", summary)
+        await self._finish_job(job, "completed", summary)
 
-    def _finish_job(self, job: _Job, status: str, summary: dict) -> None:
+    async def _finish_job(self, job: _Job, status: str, summary: dict) -> None:
         job.status = status
         job.summary = summary
         self._active -= 1
@@ -396,7 +407,12 @@ class RegressionService:
             self.jobs_failed += 1
             event = {"event": "error", "job": job.id, **summary}
         if self.journal is not None:
-            self.journal.settle(job.origin, status, summary)
+            # settle() does a blocking write + fsync (and possibly a
+            # whole-segment compaction); keep it off the event loop so
+            # one verdict cannot stall every other stream and probe.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.journal.settle, job.origin, status, summary
+            )
         self._publish(job, event)
 
     # -- recovery / lifecycle ----------------------------------------------
@@ -413,8 +429,12 @@ class RegressionService:
             except PackError:
                 # An unparseable journaled pack is reported and
                 # settled, not retried forever.
-                self.journal.settle(
-                    job_id, "failed", {"error": "unreplayable pack"}
+                await asyncio.get_running_loop().run_in_executor(
+                    None,
+                    self.journal.settle,
+                    job_id,
+                    "failed",
+                    {"error": "unreplayable pack"},
                 )
                 continue
             job = self._start_job(

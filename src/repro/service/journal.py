@@ -106,6 +106,7 @@ class JobJournal:
         self.accepted_jobs = 0
         self.settled_jobs = 0
         self.compactions = 0
+        self.compaction_failures = 0
         self._seq = 0
         self._lock = threading.Lock()
         self._segment_index = 0
@@ -184,8 +185,25 @@ class JobJournal:
         except Exception as exc:
             raise JournalError(f"journal append failed: {exc}") from exc
         self._records_in_segment += 1
-        if self._records_in_segment >= self.segment_records:
+
+    def _maybe_compact(self) -> None:
+        """Compact when the active segment is full.
+
+        Must run only *after* :attr:`_pending` reflects the record just
+        appended — compaction rewrites exactly the pending set, so
+        triggering it from inside :meth:`_append` would drop the
+        freshly-fsynced record (an accept vanishing from the rewritten
+        segment, or a settle being un-done by re-persisting the job as
+        pending).  A failed compaction is tolerated, not raised: the
+        append itself is already durable, the old segments still hold
+        the truth, and the next threshold crossing retries.
+        """
+        if self._records_in_segment < self.segment_records:
+            return
+        try:
             self._compact()
+        except Exception:
+            self.compaction_failures += 1
 
     def accept(self, job_id: str, pack_data: dict) -> None:
         """Durably record an accepted job *before* it is acknowledged."""
@@ -193,6 +211,7 @@ class JobJournal:
             self._append(KIND_ACCEPTED, job_id, pack_data)
             self._pending[job_id] = pack_data
             self.accepted_jobs += 1
+            self._maybe_compact()
 
     def settle(self, job_id: str, status: str, summary: dict) -> bool:
         """Record a job's terminal verdict (``completed``/``failed``).
@@ -210,6 +229,7 @@ class JobJournal:
                 return False
             self._pending.pop(job_id, None)
             self.settled_jobs += 1
+            self._maybe_compact()
             return True
 
     # -- recovery / maintenance --------------------------------------------
@@ -278,5 +298,6 @@ class JobJournal:
                 "replayed": self.replayed_jobs,
                 "corrupt_records": self.corrupt_records,
                 "compactions": self.compactions,
+                "compaction_failures": self.compaction_failures,
                 "segment_index": self._segment_index,
             }

@@ -148,15 +148,20 @@ class WarmSessionPool:
                 return
             self._idle.setdefault(key, []).append(session)
             self._order.append(session)
-            while len(self._order) > self.max_idle:
-                victim = self._order.pop(0)
-                victim_key = self._keys.pop(id(victim), None)
-                if victim_key is not None:
-                    try:
-                        self._idle[victim_key].remove(victim)
-                    except (KeyError, ValueError):
-                        pass
-                self.evicted += 1
+            self._evict_to_bound_locked()
+
+    def _evict_to_bound_locked(self) -> None:
+        """Drop least-recently-returned idle sessions past ``max_idle``.
+        Caller holds :attr:`_lock`."""
+        while len(self._order) > self.max_idle:
+            victim = self._order.pop(0)
+            victim_key = self._keys.pop(id(victim), None)
+            if victim_key is not None:
+                try:
+                    self._idle[victim_key].remove(victim)
+                except (KeyError, ValueError):
+                    pass
+            self.evicted += 1
 
     # -- supervision -------------------------------------------------------
     def sweep(self) -> int:
@@ -184,6 +189,11 @@ class WarmSessionPool:
                 self._keys.pop(id(session), None)
                 self.recycled += 1
             recycled += 1
+        # Survivors were re-added without bound checks (and concurrent
+        # releases may have refilled the pool while candidates were
+        # detached): re-enforce the LRU cap before returning.
+        with self._lock:
+            self._evict_to_bound_locked()
         return recycled
 
     def probe(self, target, derivative: Derivative) -> bool:

@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 
 import pytest
 
@@ -269,6 +270,53 @@ class TestJobJournal:
         journal.close()
         assert journal.settle("job-1", "completed", {}) is False
 
+    def test_accept_filling_segment_survives_crash(self, tmp_path):
+        # Regression: when an accept record fills the segment, the
+        # triggered compaction must include that accept in the
+        # rewritten segment — compacting before the pending set was
+        # updated silently dropped the just-acknowledged job.
+        journal = JobJournal(tmp_path, segment_records=2, fsync=False)
+        journal.accept("job-1", {"name": "a"})
+        journal.accept("job-2", {"name": "b"})  # fills → compacts
+        assert journal.compactions >= 2  # boot compaction + this one
+        # Crash: abandon the handle the way kill -9 would.
+        reborn = JobJournal(tmp_path)
+        assert [job for job, _ in reborn.pending_jobs()] == [
+            "job-1",
+            "job-2",
+        ]
+        reborn.close()
+
+    def test_settle_filling_segment_not_replayed(self, tmp_path):
+        # Mirror regression: a settle-triggered compaction must not
+        # re-persist the settling job as pending (dropping the settle
+        # record caused spurious replay of completed jobs).
+        journal = JobJournal(tmp_path, segment_records=2, fsync=False)
+        journal.accept("job-1", {"name": "a"})
+        assert journal.settle("job-1", "completed", {})  # fills → compacts
+        reborn = JobJournal(tmp_path)
+        assert reborn.pending_jobs() == []
+        reborn.close()
+
+    def test_compaction_failure_tolerated(self, tmp_path):
+        # The append itself is durable; a failed compaction must not
+        # escape accept()/settle() as a raw exception (the daemon maps
+        # JournalError → 503; anything else reads as a 500 while the
+        # record is already on disk).
+        journal = JobJournal(tmp_path, segment_records=2, fsync=False)
+
+        def boom():
+            raise OSError("disk full")
+
+        journal._compact = boom
+        journal.accept("job-1", {"name": "a"})
+        journal.accept("job-2", {"name": "b"})  # fills → compaction fails
+        assert journal.settle("job-1", "completed", {})  # fails again
+        stats = journal.stats()
+        assert stats["compaction_failures"] == 2
+        assert [job for job, _ in journal.pending_jobs()] == ["job-2"]
+        journal.close()
+
 
 # --------------------------------------------------------------------------
 # pool
@@ -333,6 +381,32 @@ class TestWarmSessionPool:
         assert pool.sweep() == 1
         assert pool.stats()["idle"] == 1
         assert pool.lease(TARGET_GOLDEN, SC88A) is healthy
+        pool.close()
+
+    def test_sweep_enforces_idle_bound(self):
+        # Regression: survivors re-added by sweep() (plus any session
+        # released concurrently while the candidates were detached)
+        # must not push the pool past max_idle.
+        pool = WarmSessionPool(max_idle=2)
+        first = pool.lease(TARGET_GOLDEN, SC88A)
+        second = pool.lease(TARGET_GOLDEN, SC88A)
+        third = pool.lease(TARGET_GOLDEN, SC88A)
+        pool.release(first)
+        pool.release(second)
+        # Simulate a release racing the sweep: while the candidates
+        # are detached, the first health check returns `third`.
+        original_check = type(first).health_check
+
+        def check_and_release():
+            del first.health_check  # one-shot shadow
+            pool.release(third)
+            return original_check(first)
+
+        first.health_check = check_and_release
+        pool.sweep()
+        stats = pool.stats()
+        assert stats["idle"] == 2
+        assert stats["evicted"] == 1
         pool.close()
 
     def test_lease_chaos_counts_and_propagates(self):
@@ -419,6 +493,42 @@ class TestRegressionService:
         shed, retry_after = run_async(scenario())
         assert shed == 1
         assert retry_after > 0
+
+    def test_concurrent_submits_respect_bound(self, workspace, tmp_path):
+        # Regression: the admission check and _start_job's _active
+        # increment are separated by the journal-accept await, so
+        # concurrent submissions could all pass the check and exceed
+        # max_pending.  A slot must be reserved across the await.
+        async def scenario():
+            journal = JobJournal(tmp_path / "journal")
+            original_accept = journal.accept
+
+            def slow_accept(job_id, pack_data):
+                time.sleep(0.02)
+                original_accept(job_id, pack_data)
+
+            journal.accept = slow_accept
+            service = RegressionService(
+                workspace, journal=journal, max_pending=1
+            )
+            results = await asyncio.gather(
+                collect(service.submit(smoke_pack(name="one"))),
+                collect(service.submit(smoke_pack(name="two"))),
+                return_exceptions=True,
+            )
+            shed = service.jobs_shed
+            await service.drain()
+            return results, shed
+
+        results, shed = run_async(scenario())
+        assert shed == 1
+        shed_errors = [
+            r for r in results if isinstance(r, ServiceUnavailable)
+        ]
+        completed = [r for r in results if isinstance(r, list)]
+        assert len(shed_errors) == 1
+        assert len(completed) == 1
+        assert completed[0][-1]["event"] == "done"
 
     def test_draining_refuses_submissions(self, workspace):
         async def scenario():
