@@ -42,6 +42,7 @@ BENCH_PR: dict[str, int] = {
     "resilience": 7,
     "jit": 8,
     "serving": 9,
+    "artifact_store": 10,
 }
 
 #: Committed speedup floors: dotted figure path -> the minimum each
@@ -68,6 +69,13 @@ BENCH_FLOORS: dict[str, dict[str, float]] = {
     # PR 9 acceptance: a warm serving daemon answers the same scenario
     # pack >= 2x faster than a cold per-request service.
     "serving": {"warm_pool.speedup": 2.0},
+    # PR 10 acceptance: warming a cold process from the artifact store
+    # beats full re-predecode >= 1.5x, and the always-on store layer
+    # costs at most 5% on a zero-fault matrix.
+    "artifact_store": {
+        "warm_start.speedup": 1.5,
+        "zero_fault.speedup": 0.95,
+    },
 }
 
 #: Keys whose numeric values are trajectory figures.

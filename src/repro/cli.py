@@ -128,6 +128,9 @@ def _load_modules(system_dir: Path, module: str | None):
 
 
 def cmd_regress(args: argparse.Namespace) -> int:
+    if args.fleet and not args.store_dir:
+        print("--fleet requires --store-dir", file=sys.stderr)
+        return 2
     system_dir = _system_dir(args.directory)
     environments = _load_modules(system_dir, args.module)
     deriv = lookup_derivative(args.derivative)
@@ -139,6 +142,19 @@ def cmd_regress(args: argparse.Namespace) -> int:
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = ResultCache(args.cache_dir)
+    store = None
+    worklist = None
+    if args.store_dir:
+        from repro.isa.decodecache import set_artifact_store
+        from repro.store import ArtifactStore, WorkList
+
+        store = ArtifactStore(Path(args.store_dir) / "artifacts")
+        set_artifact_store(store)
+        if args.fleet:
+            worklist = WorkList(
+                Path(args.store_dir) / "worklist",
+                lease_ttl=args.lease_ttl,
+            )
     scheduler = RegressionScheduler(
         targets=targets,
         jobs=args.jobs,
@@ -146,6 +162,7 @@ def cmd_regress(args: argparse.Namespace) -> int:
         cache=cache,
         run_timeout=args.run_timeout,
         retries=args.retries,
+        worklist=worklist,
     )
     report = scheduler.run_system(environments, deriv)
     print(regression_matrix(report))
@@ -154,6 +171,14 @@ def cmd_regress(args: argparse.Namespace) -> int:
         stats = scheduler.engine_stats
         line = " ".join(f"{key}={stats[key]}" for key in sorted(stats))
         print(f"engine-stats: {line or '(no runs executed)'}")
+    if store is not None:
+        stats = store.stats()
+        line = " ".join(f"{key}={stats[key]}" for key in sorted(stats))
+        print(f"store-stats: {line}")
+    if worklist is not None:
+        stats = worklist.stats()
+        line = " ".join(f"{key}={stats[key]}" for key in sorted(stats))
+        print(f"worklist-stats: {line}")
     if cache is not None and args.cache_prune:
         removed = cache.prune(
             max_entries=args.cache_max_entries, max_age=args.cache_max_age
@@ -208,6 +233,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     system_dir = _system_dir(args.directory)
     journal = JobJournal(args.journal_dir) if args.journal_dir else None
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    store = None
+    if args.store_dir:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(Path(args.store_dir) / "artifacts")
     service = RegressionService(
         system_dir,
         pool=WarmSessionPool(max_idle=args.pool_size),
@@ -216,6 +246,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         max_active=args.max_active,
         default_deadline=args.deadline,
+        store=store,
     )
     return asyncio.run(run_daemon(service, args.host, args.port))
 
@@ -383,6 +414,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore --cache-dir and execute every matrix entry",
     )
     p_regress.add_argument(
+        "--store-dir",
+        default=None,
+        help=(
+            "persistent artifact store root; warmed decode/superblock/"
+            "JIT state is saved there and fresh processes warm-start "
+            "from it instead of re-predecoding"
+        ),
+    )
+    p_regress.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "shard the matrix with peer processes through a shared "
+            "work-list under --store-dir (lease claims, work stealing, "
+            "first-writer-wins results)"
+        ),
+    )
+    p_regress.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help=(
+            "fleet cell-lease expiry in seconds; a worker dead longer "
+            "than this has its cells stolen by survivors (default: 30)"
+        ),
+    )
+    p_regress.add_argument(
         "--engine-stats",
         action="store_true",
         help=(
@@ -453,6 +511,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--cache-dir", default=None, help="shared persistent result cache"
+    )
+    p_serve.add_argument(
+        "--store-dir",
+        default=None,
+        help=(
+            "persistent artifact store root; the daemon rehydrates its "
+            "decode/superblock/JIT state from it at boot and persists "
+            "what jobs warm up"
+        ),
     )
     p_serve.add_argument(
         "--pool-size",

@@ -42,6 +42,14 @@ site               fired from
                    ``{target}/{derivative}``
 ``journal-write``  :meth:`JobJournal.append` (durable accept/settle
                    records), key ``{job id}``
+``store-read``     :meth:`ArtifactStore.load_decode_cache` /
+                   :meth:`WorkList.fetch` (shared-store reads), key =
+                   artifact file stem / cell key
+``store-write``    :meth:`ArtifactStore.save_decode_cache` /
+                   :meth:`WorkList.publish` (shared-store writes), key =
+                   artifact file stem / cell key
+``lease-renew``    :meth:`WorkList.renew` (heartbeat extension of a
+                   held cell lease), key = cell key
 =================  ========================================================
 
 Actions
@@ -52,8 +60,8 @@ Actions
 ``--run-timeout`` is what reclaims it); ``kill`` SIGKILLs the current
 *worker* process (in the main process it degrades to ``raise`` so a
 mis-targeted spec cannot take the scheduler down); ``corrupt`` mangles
-payload bytes at the payload sites (cache read/write) through
-:meth:`FaultInjector.mangle`.
+payload bytes at the payload sites (cache read/write, store
+read/write) through :meth:`FaultInjector.mangle`.
 """
 
 from __future__ import annotations
@@ -73,6 +81,9 @@ SITE_CACHE_WRITE = "cache-write"
 SITE_SERVICE_ACCEPT = "service-accept"
 SITE_POOL_LEASE = "pool-lease"
 SITE_JOURNAL_WRITE = "journal-write"
+SITE_STORE_READ = "store-read"
+SITE_STORE_WRITE = "store-write"
+SITE_LEASE_RENEW = "lease-renew"
 
 ALL_SITES = (
     SITE_WORKER_BOOT,
@@ -83,6 +94,9 @@ ALL_SITES = (
     SITE_SERVICE_ACCEPT,
     SITE_POOL_LEASE,
     SITE_JOURNAL_WRITE,
+    SITE_STORE_READ,
+    SITE_STORE_WRITE,
+    SITE_LEASE_RENEW,
 )
 
 ACTION_RAISE = "raise"

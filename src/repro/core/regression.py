@@ -65,6 +65,11 @@ class RegressionReport:
     retried_runs: int = 0
     quarantined_runs: int = 0
     degraded_runs: int = 0
+    #: Fleet bookkeeping: verdicts adopted from a peer worker's
+    #: publication in the shared work-list, and runs executed under a
+    #: lease stolen from a dead (expired) worker.
+    fetched_runs: int = 0
+    stolen_runs: int = 0
 
     @property
     def total_runs(self) -> int:
@@ -106,6 +111,12 @@ class RegressionReport:
             lines.append(
                 f"  {self.batched_runs} run(s) batched in lock-step "
                 f"({self.peeled_runs} peeled to scalar)"
+            )
+        if self.fetched_runs or self.stolen_runs:
+            lines.append(
+                f"  fleet: {self.fetched_runs} verdict(s) adopted from "
+                f"peers, {self.stolen_runs} lease(s) stolen from dead "
+                "workers"
             )
         if self.retried_runs or self.quarantined_runs or self.degraded_runs:
             lines.append(

@@ -61,6 +61,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -130,7 +131,10 @@ class RunOutcome:
     ``degraded`` runs demoted from the lock-step fast path to a
     from-reset scalar run after an execution-layer error, and
     ``quarantined`` cells whose result is a synthesized
-    :data:`RunStatus.FAULT` because every attempt failed.
+    :data:`RunStatus.FAULT` because every attempt failed.  In a
+    fleet-sharded run, ``fetched`` marks verdicts adopted from a peer
+    worker's publication in the shared work-list and ``stolen`` runs
+    executed under a lease reclaimed from a dead worker.
     """
 
     request: RunRequest
@@ -141,6 +145,8 @@ class RunOutcome:
     retried: bool = False
     degraded: bool = False
     quarantined: bool = False
+    fetched: bool = False
+    stolen: bool = False
 
 
 # --------------------------------------------------------------------------
@@ -528,6 +534,7 @@ class RegressionScheduler:
         sleep=time.sleep,
         fault_plan: FaultPlan | None = None,
         session_provider=None,
+        worklist=None,
     ):
         if executor not in ("auto", "serial", "thread", "process", "batch"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -560,6 +567,13 @@ class RegressionScheduler:
         #: rebuilds them instead of handing the wreck to the next
         #: tenant.
         self.session_provider = session_provider
+        #: Optional shared :class:`repro.store.worklist.WorkList`:
+        #: several scheduler processes pointed at the same directory
+        #: divide the matrix by racing cell claims, adopting each
+        #: other's published verdicts and stealing expired leases from
+        #: dead workers.  A disabled (uncreatable) work-list degrades
+        #: the run to ordinary local execution.
+        self.worklist = worklist
         #: Set for the duration of :meth:`run_system` when the caller
         #: wants outcomes streamed as they materialise.
         self._on_outcome = None
@@ -573,6 +587,12 @@ class RegressionScheduler:
             and cache.injector is None
         ):
             cache.injector = self._injector
+        if (
+            self._injector is not None
+            and worklist is not None
+            and worklist.injector is None
+        ):
+            worklist.injector = self._injector
         #: (derivative, target tuple) -> pooled BatchSession, so the
         #: batch executor amortises device construction across cells
         #: exactly like the serial executor's per-target sessions.
@@ -627,6 +647,13 @@ class RegressionScheduler:
                     self.cache.put(key, outcome.result)
         finally:
             self._on_outcome = None
+            # Persist whatever decode/superblock/JIT state this run
+            # warmed up.  One stamp-sized check per registered image
+            # when an artifact store is installed, a constant-time
+            # no-op otherwise.
+            from repro.isa.decodecache import persist_registry
+
+            persist_registry()
 
         return self._assemble_report(work, outcomes, derivative)
 
@@ -718,6 +745,15 @@ class RegressionScheduler:
         results: list[RunOutcome] = []
         results.extend(self._run_overridden(overridden, derivative))
 
+        if self.worklist is not None and not self.worklist.disabled:
+            # Fleet-sharded run: divide the remaining matrix with peer
+            # processes through the shared work-list.  Cells execute
+            # in-process (the fleet is the parallelism); overridden
+            # platforms above stayed local — their state is arbitrary
+            # experiment Python no peer could reproduce.
+            results.extend(self._run_fleet(normal, derivative))
+            return results
+
         executor = self.executor
         if executor == "auto":
             executor = "serial" if self.jobs <= 1 else "process"
@@ -728,6 +764,144 @@ class RegressionScheduler:
         else:
             results.extend(self._run_pooled(normal, derivative, executor))
         return results
+
+    def _run_fleet(
+        self,
+        items: list[tuple[RunRequest, MemoryImage, Target]],
+        derivative: Derivative,
+    ) -> list[RunOutcome]:
+        """Run *items* cooperatively with peer workers over the shared
+        work-list.
+
+        Per cell: adopt an already-published verdict (``fetched``),
+        otherwise claim the cell's lease — stealing it when its holder's
+        expiry passed (``stolen``) — and execute under a heartbeat with
+        the ordinary retry/quarantine ladder, then publish.  Cells held
+        by live peers are polled until their verdict appears or their
+        lease expires, so the matrix completes even when peers are
+        SIGKILLed mid-shard: every cell is eventually published by its
+        lease holder or reclaimed by a survivor.
+
+        Publication is first-writer-wins; losing the race adopts the
+        peer's canonical verdict so every worker accounts identical
+        results.  Quarantined verdicts are never published — they are
+        this process's infrastructure failure, and a healthy peer (or a
+        lease steal after ours lapses) can still derive the real one.
+        A store that fails mid-run degrades that cell to the local
+        verdict; the work-list counts the error and the run continues.
+        """
+        from repro.store.worklist import cell_key
+
+        worklist = self.worklist
+        sessions: dict[str, ExecutionSession] = {}
+        out: list[RunOutcome] = []
+        # One run-scoped heartbeat thread renewing whichever lease is
+        # currently being executed (cells run one at a time here — the
+        # fleet is the parallelism).  A thread per cell would cost more
+        # than a short cell's execution; a thread per run is free.
+        held: list = [None]
+        stop_beat = threading.Event()
+
+        def _beat() -> None:
+            interval = max(0.02, worklist.lease_ttl / 3.0)
+            while not stop_beat.wait(interval):
+                lease = held[0]
+                if lease is not None and not lease.lost:
+                    worklist.renew(lease)
+
+        keeper = threading.Thread(
+            target=_beat, name="fleet-heartbeat", daemon=True
+        )
+        keeper.start()
+        remaining: list[tuple[RunRequest, MemoryImage, Target, str]] = [
+            (
+                request,
+                image,
+                tgt,
+                cell_key(
+                    request.environment,
+                    request.cell,
+                    request.derivative,
+                    request.target,
+                    image.digest(),
+                    self.max_instructions,
+                ),
+            )
+            for request, image, tgt in items
+        ]
+        try:
+            while remaining:
+                deferred = []
+                progressed = False
+                errors_before = worklist.claim_errors
+                for request, image, tgt, key in remaining:
+                    payload = worklist.fetch(key)
+                    if payload is not None:
+                        out.append(
+                            self._emit(
+                                RunOutcome(
+                                    request,
+                                    result_from_payload(payload),
+                                    fetched=True,
+                                )
+                            )
+                        )
+                        progressed = True
+                        continue
+                    lease = worklist.claim(key)
+                    if lease is None:
+                        # Held by a live peer (or claim trouble): poll
+                        # again — its result will publish, or its lease
+                        # will expire and we steal it.
+                        deferred.append((request, image, tgt, key))
+                        continue
+                    held[0] = lease
+                    try:
+                        outcome = self._supervised_scalar_run(
+                            sessions, request, image, tgt, derivative
+                        )
+                    finally:
+                        held[0] = None
+                    outcome.stolen = lease.stolen
+                    if not outcome.quarantined:
+                        published = worklist.publish(
+                            key, result_to_payload(outcome.result)
+                        )
+                        if not published:
+                            peer = worklist.fetch(key)
+                            if peer is not None:
+                                # Lost the publication race: adopt the
+                                # canonical verdict so every fleet
+                                # worker accounts identical results.
+                                outcome.result = result_from_payload(peer)
+                    worklist.release(lease)
+                    out.append(self._emit(outcome))
+                    progressed = True
+                remaining = deferred
+                if remaining and not progressed:
+                    if worklist.claim_errors > errors_before:
+                        # Store root gone bad mid-run: degrade the
+                        # leftover cells to ordinary local execution
+                        # (the errors are counted on the work-list) —
+                        # never let a broken share wedge the matrix.
+                        for request, image, tgt, _key in remaining:
+                            out.append(
+                                self._emit(
+                                    self._supervised_scalar_run(
+                                        sessions, request, image, tgt,
+                                        derivative,
+                                    )
+                                )
+                            )
+                        break
+                    self._sleep(_POLL_INTERVAL)
+        finally:
+            stop_beat.set()
+            keeper.join(timeout=5.0)
+            if self.session_provider is not None:
+                for session in sessions.values():
+                    self.session_provider.release(session, healthy=True)
+        return out
 
     def _run_overridden(
         self,
@@ -1203,8 +1377,14 @@ class RegressionScheduler:
                 )[request.target] = outcome.result
             if outcome.cached:
                 report.cached_runs += 1
+            elif outcome.fetched:
+                # Adopted from a fleet peer's publication: nobody here
+                # executed it, but it is not a local cache hit either.
+                report.fetched_runs += 1
             else:
                 report.executed_runs += 1
+            if outcome.stolen:
+                report.stolen_runs += 1
             if outcome.batched:
                 report.batched_runs += 1
             if outcome.peeled:

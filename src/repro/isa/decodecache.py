@@ -60,7 +60,7 @@ appends instead of per-instruction recording.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as dataclass_fields
 from typing import Callable, Mapping
 
 from repro.isa.encoding import decode_word, opcode_of, sign_extend_16
@@ -204,6 +204,41 @@ class DecodedInstruction:
     pos: int = 0
     width: int = 0
     exec: Callable | None = None
+
+
+_DECODED_FIELDS = tuple(
+    field.name for field in dataclass_fields(DecodedInstruction)
+)
+
+
+def _decoded_getstate(self) -> list:
+    return [getattr(self, name) for name in _DECODED_FIELDS]
+
+
+def _unrolled_setstate(names, setattr_form: str):
+    """A ``__setstate__`` with one inline store per field (the
+    dataclass-``__init__`` codegen trick).  An artifact-store restore
+    unpickles thousands of entries and blocks; a Python-level
+    ``zip``+``setattr`` loop over 18-20 fields per object was the
+    hottest piece of a warm process start."""
+    source = "def _setstate(self, state):\n" + "\n".join(
+        setattr_form.format(name=name, index=index)
+        for index, name in enumerate(names)
+    )
+    namespace = {"_setattr": object.__setattr__}
+    exec(source, namespace)
+    return namespace["_setstate"]
+
+
+# The slot-pickling helpers dataclasses generates for a frozen slots
+# class re-resolve ``fields()`` on every object; an artifact-store
+# restore unpickles thousands of entries, so bind precomputed versions
+# (assigned post-class because ``slots=True`` rebuilds the class and
+# installs its own helpers over in-body definitions on 3.11).
+DecodedInstruction.__getstate__ = _decoded_getstate
+DecodedInstruction.__setstate__ = _unrolled_setstate(
+    _DECODED_FIELDS, "    _setattr(self, {name!r}, state[{index}])"
+)
 
 
 # ---------------------------------------------------------------------------
@@ -1124,6 +1159,29 @@ class Superblock:
             self.spin_cost = 0
             self.spin_cost_w = 0
 
+    def __getstate__(self) -> list:
+        """Pickle everything (slot order) except the compiled chain
+        variants.
+
+        ``jit_u``/``jit_ot``/``jit_ow`` are ``compile()``-generated
+        function objects — process-local artifacts that cannot ride a
+        pickle.  The artifact store snapshots their *code objects*
+        separately via :mod:`marshal` and rebinds (or recompiles) them
+        on restore, so dropping them here loses no warmth across a
+        process boundary."""
+        state = [getattr(self, slot) for slot in self.__slots__]
+        jit_base = self.__slots__.index("jit_u")
+        state[jit_base : jit_base + 3] = (None, None, None)
+        return state
+
+
+# Same unrolled-stores trick as ``DecodedInstruction`` (bound
+# post-class so the generated source can enumerate the slots).
+Superblock.__setstate__ = _unrolled_setstate(
+    Superblock.__slots__, "    self.{name} = state[{index}]"
+)
+
+
 #: Opcodes whose ``imm_u`` is the sign-extended-and-masked immediate.
 _SIGNED_IMM_OPS = frozenset({Opcode.ADDI, Opcode.CMPI})
 #: Opcodes whose ``imm_u`` is the raw zero-extended ``imm16``.
@@ -1401,6 +1459,36 @@ _REGISTRY_LIMIT = 256
 _REGISTRY_LOCK = threading.Lock()
 _REGISTRY_EVICTIONS = 0
 
+#: Optional persistent artifact store (duck-typed:
+#: ``load_decode_cache(key) -> DecodeCache | None`` and
+#: ``save_decode_cache(key, cache) -> bool``, both non-raising) that
+#: :func:`decode_cache_for` consults on a registry miss, so a fresh
+#: process warm-starts from disk instead of re-paying predecode and
+#: superblock formation.  Installed by the CLI/daemon via
+#: :func:`set_artifact_store`; ``None`` keeps the registry pure-memory.
+_ARTIFACT_STORE = None
+
+
+def set_artifact_store(store) -> None:
+    """Install (or with ``None`` remove) the persistent artifact store
+    consulted on registry misses and drained by
+    :func:`persist_registry`."""
+    global _ARTIFACT_STORE
+    _ARTIFACT_STORE = store
+
+
+def artifact_store():
+    """The installed artifact store, or ``None``."""
+    return _ARTIFACT_STORE
+
+
+def _evict_to_limit_locked() -> None:
+    """Caller holds :data:`_REGISTRY_LOCK`."""
+    global _REGISTRY_EVICTIONS
+    while len(_REGISTRY) >= _REGISTRY_LIMIT:
+        _REGISTRY.pop(next(iter(_REGISTRY)))
+        _REGISTRY_EVICTIONS += 1
+
 
 def decode_cache_for(
     image,
@@ -1416,18 +1504,62 @@ def decode_cache_for(
     Resolving a cache marks it most-recently-used; when the registry is
     full the least-recently-resolved cache is evicted (dropping its
     blocks and compiled chains with it).
+
+    With an artifact store installed (:func:`set_artifact_store`), a
+    registry miss first tries the store: a hit restores the persisted
+    predecode/superblock/JIT state and the fresh process skips the cold
+    start entirely.  Store failures of any kind fall through to a
+    normal cold build — the store degrades, it never breaks a run.
     """
-    global _REGISTRY_EVICTIONS
     key = (image.digest(), region_base, region_end, wait_states)
     with _REGISTRY_LOCK:
         cache = _REGISTRY.pop(key, None)
         if cache is None:
-            while len(_REGISTRY) >= _REGISTRY_LIMIT:
-                _REGISTRY.pop(next(iter(_REGISTRY)))
-                _REGISTRY_EVICTIONS += 1
-            cache = DecodeCache(image, region_base, region_end, wait_states)
+            if _ARTIFACT_STORE is not None:
+                cache = _ARTIFACT_STORE.load_decode_cache(key)
+            if cache is None:
+                cache = DecodeCache(
+                    image, region_base, region_end, wait_states
+                )
+            _evict_to_limit_locked()
         _REGISTRY[key] = cache
     return cache
+
+
+def install_cache(key: tuple, cache: DecodeCache) -> DecodeCache:
+    """Register a restored cache under *key* (boot-time rehydration).
+
+    A live registry entry wins over the restored one — the in-memory
+    cache may hold state newer than the snapshot — so installing is
+    idempotent and never regresses warmth.  Returns the cache that is
+    registered after the call."""
+    with _REGISTRY_LOCK:
+        existing = _REGISTRY.pop(key, None)
+        if existing is not None:
+            _REGISTRY[key] = existing
+            return existing
+        _evict_to_limit_locked()
+        _REGISTRY[key] = cache
+        return cache
+
+
+def persist_registry() -> int:
+    """Save every registered cache to the installed artifact store;
+    returns how many snapshots were written (0 without a store).
+
+    The store skips byte-identical re-writes via a cheap content stamp,
+    so calling this after every regression costs one stat-sized check
+    per warm image, not one pickle."""
+    store = _ARTIFACT_STORE
+    if store is None:
+        return 0
+    with _REGISTRY_LOCK:
+        items = list(_REGISTRY.items())
+    saved = 0
+    for key, cache in items:
+        if store.save_decode_cache(key, cache):
+            saved += 1
+    return saved
 
 
 def registry_stats() -> dict[str, int]:
@@ -1438,14 +1570,31 @@ def registry_stats() -> dict[str, int]:
     }
 
 
-def reset_registry() -> int:
-    """Drop every registered cache; returns how many were discarded.
+class RegistryReset(int):
+    """:func:`reset_registry`'s return: the dropped-cache count (an
+    ``int``, for existing callers) that also carries the eviction count
+    the reset zeroed."""
+
+    def __new__(cls, dropped: int, evictions: int):
+        self = super().__new__(cls, dropped)
+        self.evictions = evictions
+        return self
+
+
+def reset_registry() -> RegistryReset:
+    """Drop every registered cache; returns how many were discarded
+    (with the zeroed eviction count on ``.evictions``).
 
     Benchmark/test hook: the registry is what makes the second run of
     an image warm (predecode, superblocks, compiled chains all live
     here), so an honest cold-start measurement must clear it between
-    samples.  Production code never calls this."""
+    samples — including the :func:`registry_stats` eviction counter,
+    which would otherwise report a previous sample's evictions against
+    the fresh registry.  Production code never calls this."""
+    global _REGISTRY_EVICTIONS
     with _REGISTRY_LOCK:
         dropped = len(_REGISTRY)
+        evictions = _REGISTRY_EVICTIONS
         _REGISTRY.clear()
-        return dropped
+        _REGISTRY_EVICTIONS = 0
+        return RegistryReset(dropped, evictions)

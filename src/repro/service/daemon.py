@@ -182,6 +182,7 @@ class RegressionService:
         probe_target: str = "golden",
         probe_derivative: str = "sc88a",
         clock=time.monotonic,
+        store=None,
     ):
         self.system_dir = Path(system_dir)
         self.fault_plan = fault_plan
@@ -201,6 +202,18 @@ class RegressionService:
             and cache.injector is None
         ):
             cache.injector = self._injector
+        #: Optional :class:`repro.store.artifacts.ArtifactStore`.
+        #: Installing it makes every scheduler run persist its warmed
+        #: decode/superblock/JIT state and every registry miss try the
+        #: store first; :meth:`rehydrate` bulk-loads it at boot so a
+        #: restarted daemon's pool skips predecode entirely.
+        self.store = store
+        if store is not None:
+            if store.injector is None and self._injector is not None:
+                store.injector = self._injector
+            from repro.isa.decodecache import set_artifact_store
+
+            set_artifact_store(store)
         self.max_pending = max(1, int(max_pending))
         self.max_active = max(1, int(max_active))
         self.default_deadline = default_deadline
@@ -416,6 +429,19 @@ class RegressionService:
         self._publish(job, event)
 
     # -- recovery / lifecycle ----------------------------------------------
+    async def rehydrate(self) -> int:
+        """Warm the process-wide decode-cache registry from the
+        artifact store (the warm-state half of boot recovery, next to
+        :meth:`replay_pending`'s journal half).  Returns how many
+        caches were installed; 0 without a store.  Restores are
+        blocking unpickle + JIT recompile work, so they run off the
+        event loop."""
+        if self.store is None:
+            return 0
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self.store.warm_registry
+        )
+
     async def replay_pending(self) -> int:
         """Re-run jobs the journal accepted but never settled (the
         restart half of the durability contract).  Returns how many
@@ -455,6 +481,14 @@ class RegressionService:
         self.draining = True
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self.store is not None:
+            # Final flush of warm decode state; stamps make this a
+            # no-op for anything the per-run persists already wrote.
+            from repro.isa.decodecache import persist_registry
+
+            await asyncio.get_running_loop().run_in_executor(
+                None, persist_registry
+            )
         self.pool.close()
         if self.journal is not None:
             self.journal.close()
@@ -493,6 +527,8 @@ class RegressionService:
             data["journal"] = self.journal.stats()
         if self.cache is not None:
             data["cache"] = self.cache.stats()
+        if self.store is not None:
+            data["store"] = self.store.stats()
         return data
 
 
@@ -519,6 +555,11 @@ class ServiceDaemon:
         self._server: asyncio.AbstractServer | None = None
 
     async def start(self) -> None:
+        rehydrated = await self.service.rehydrate()
+        if rehydrated:
+            print(
+                f"artifact store: {rehydrated} decode cache(s) rehydrated"
+            )
         replayed = await self.service.replay_pending()
         if replayed:
             print(f"journal replay: {replayed} pending job(s) restarted")

@@ -1,0 +1,375 @@
+"""Shared-directory work-list for fleet-sharded regression runs.
+
+Several scheduler processes — possibly on several machines sharing a
+filesystem — divide one regression matrix by racing to *claim* cells
+and publishing their results into a common directory.  The protocol is
+built from three ordinary-filesystem primitives and one invariant:
+
+- **lease-based claims** — a cell is claimed by creating
+  ``leases/<key>.lease`` with ``O_CREAT | O_EXCL`` (atomic on POSIX
+  even over NFS v3+ for local-machine fleets, which is what the tests
+  exercise).  The file records the owner id, a fresh nonce and a
+  wall-clock expiry;
+- **heartbeat renewal and expiry** — a healthy worker extends its
+  lease (atomic rewrite, same nonce, firing the ``lease-renew`` chaos
+  site) while executing; a lease whose expiry passed is *dead* and any
+  worker may **steal** it: overwrite-with-own-record, then read back
+  and confirm the nonce survived.  SIGKILLed workers therefore delay
+  their cells by at most one TTL, never strand them;
+- **idempotent first-writer-wins publication** — results are written
+  to a temp file and ``os.link``ed to ``results/<key>.json``: the
+  first publisher wins atomically, later publishers count a
+  ``duplicate`` and adopt the published verdict.  Steal races and
+  double executions are therefore *benign*: at-least-once execution,
+  exactly-once accounting;
+- **corruption is re-derived, never trusted** — published results ride
+  the schema-checksummed envelope; a result that fails verification is
+  quarantined aside (counted) and its cell returns to the claimable
+  pool, so the matrix re-derives the verdict from source.
+
+Every operation is contained: an unavailable work-list root marks the
+list :attr:`WorkList.disabled` and the scheduler degrades to ordinary
+local execution.  Chaos sites: ``store-read`` (fetch), ``store-write``
+(publish), ``lease-renew`` (renewal).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.core.faults import (
+    SITE_LEASE_RENEW,
+    SITE_STORE_READ,
+    SITE_STORE_WRITE,
+)
+from repro.store.artifacts import quarantine_aside
+
+#: Bump when the published-result envelope changes incompatibly.
+WORKLIST_SCHEMA = 1
+
+
+def cell_key(*parts) -> str:
+    """Deterministic cell identity: the SHA-256 over the stringified
+    parts (environment, cell, derivative, target, image digest, run
+    bounds).  Every fleet worker derives the same key from the same
+    work-list entry, with no coordination."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(str(part).encode())
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+class Lease:
+    """One held (or stolen) cell claim."""
+
+    __slots__ = ("key", "owner", "nonce", "expires", "stolen", "lost")
+
+    def __init__(
+        self, key: str, owner: str, nonce: str, expires: float,
+        stolen: bool = False,
+    ):
+        self.key = key
+        self.owner = owner
+        self.nonce = nonce
+        self.expires = expires
+        #: Claimed by taking over a dead worker's expired lease.
+        self.stolen = stolen
+        #: Ownership could not be maintained (failed/raced renewal);
+        #: the holder finishes its execution — publication idempotence
+        #: keeps a concurrent re-claim harmless — but stops renewing.
+        self.lost = False
+
+
+class WorkList:
+    """Lease/steal/publish protocol over one shared directory.
+
+    Construction never raises: an uncreatable root marks the list
+    :attr:`disabled` (counted by the caller as local-only degradation).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        owner: str | None = None,
+        lease_ttl: float = 30.0,
+        injector=None,
+        clock=time.time,
+    ):
+        self.directory = Path(directory)
+        self.owner = owner or f"pid{os.getpid()}-{os.urandom(3).hex()}"
+        self.lease_ttl = max(0.05, float(lease_ttl))
+        #: Optional :class:`repro.core.faults.FaultInjector`.
+        self.injector = injector
+        #: Wall clock on purpose: expiries must compare across
+        #: processes, which a per-process monotonic clock cannot.
+        self._clock = clock
+        self.disabled = False
+        self.claimed = 0
+        self.stolen = 0
+        self.released = 0
+        self.renewed = 0
+        self.lease_lost = 0
+        self.claim_errors = 0
+        self.published = 0
+        self.duplicates = 0
+        self.fetched = 0
+        self.corrupt = 0
+        self.quarantined = 0
+        self.write_errors = 0
+        try:
+            (self.directory / "leases").mkdir(parents=True, exist_ok=True)
+            (self.directory / "results").mkdir(parents=True, exist_ok=True)
+        except OSError:
+            self.disabled = True
+
+    # -- paths -------------------------------------------------------------
+    def _lease_path(self, key: str) -> Path:
+        return self.directory / "leases" / f"{key}.lease"
+
+    def _result_path(self, key: str) -> Path:
+        return self.directory / "results" / f"{key}.json"
+
+    def _read_lease(self, path: Path) -> dict | None:
+        """The lease record at *path*, or ``None`` when missing or
+        unreadable (a torn lease file is claimable — safe because
+        publication, not the lease, decides the cell's verdict)."""
+        try:
+            record = json.loads(path.read_bytes())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        return record
+
+    def _write_lease_record(self, path: Path, record: dict) -> None:
+        fd, tmp = tempfile.mkstemp(
+            prefix=".lease.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(record, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- claims ------------------------------------------------------------
+    def claim(self, key: str) -> Lease | None:
+        """Try to claim *key*; returns a :class:`Lease` or ``None``
+        (held by a live worker, lost a steal race, or store trouble).
+
+        The steal path overwrites an *expired* record and confirms by
+        reading its own nonce back.  Two stealers can both pass the
+        expiry check and overwrite in turn; the read-back loser walks
+        away, and the residual double-claim window (a re-overwrite
+        after the winner's read-back) is benign by publication
+        idempotence.
+        """
+        if self.disabled:
+            return None
+        path = self._lease_path(key)
+        nonce = os.urandom(8).hex()
+        expires = self._clock() + self.lease_ttl
+        record = {"owner": self.owner, "nonce": nonce, "expires": expires}
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            current = self._read_lease(path)
+            if (
+                current is not None
+                and current.get("expires", 0) > self._clock()
+            ):
+                return None  # held by a live worker
+            try:
+                self._write_lease_record(path, record)
+            except OSError:
+                self.claim_errors += 1
+                return None
+            confirm = self._read_lease(path)
+            if confirm is None or confirm.get("nonce") != nonce:
+                return None  # lost the steal race
+            self.stolen += 1
+            return Lease(key, self.owner, nonce, expires, stolen=True)
+        except OSError:
+            self.claim_errors += 1
+            return None
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(record, sort_keys=True))
+        except OSError:
+            self.claim_errors += 1
+            return None
+        self.claimed += 1
+        return Lease(key, self.owner, nonce, expires)
+
+    def renew(self, lease: Lease) -> bool:
+        """Extend a held lease's expiry (the heartbeat).  Returns
+        ``False`` — and marks the lease lost — when ownership is gone
+        or the write fails (including injected ``lease-renew`` chaos);
+        never raises."""
+        if self.disabled or lease.lost:
+            return False
+        path = self._lease_path(lease.key)
+        try:
+            if self.injector is not None:
+                self.injector.fire(SITE_LEASE_RENEW, lease.key)
+            current = self._read_lease(path)
+            if current is None or current.get("nonce") != lease.nonce:
+                raise PermissionError("lease ownership lost")
+            expires = self._clock() + self.lease_ttl
+            self._write_lease_record(
+                path,
+                {
+                    "owner": self.owner,
+                    "nonce": lease.nonce,
+                    "expires": expires,
+                },
+            )
+        except Exception:
+            lease.lost = True
+            self.lease_lost += 1
+            return False
+        lease.expires = expires
+        self.renewed += 1
+        return True
+
+    def release(self, lease: Lease) -> None:
+        """Drop a held lease (best effort; only if still ours)."""
+        path = self._lease_path(lease.key)
+        try:
+            current = self._read_lease(path)
+            if current is not None and current.get("nonce") == lease.nonce:
+                os.unlink(path)
+                self.released += 1
+        except OSError:
+            pass
+
+    @contextlib.contextmanager
+    def heartbeat(self, lease: Lease, interval: float | None = None):
+        """Context manager renewing *lease* from a daemon thread while
+        the body (the cell's execution) runs.  A failed renewal stops
+        the heartbeat; the body still completes and publishes — the
+        first-writer-wins result file, not the lease, is the truth."""
+        if interval is None:
+            interval = max(0.02, self.lease_ttl / 3.0)
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                if not self.renew(lease):
+                    return
+
+        thread = threading.Thread(
+            target=beat, name=f"lease-heartbeat-{lease.key[:8]}", daemon=True
+        )
+        thread.start()
+        try:
+            yield lease
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+
+    # -- results -----------------------------------------------------------
+    def publish(self, key: str, payload: dict) -> bool:
+        """Publish *key*'s result, first writer wins.  Returns whether
+        *this* call's write became the published file; a lost race
+        counts a duplicate, a failed write counts a write error, and
+        neither raises."""
+        if self.disabled:
+            return False
+        payload_text = json.dumps(payload, sort_keys=True)
+        body = {
+            "schema": WORKLIST_SCHEMA,
+            "checksum": hashlib.sha256(payload_text.encode()).hexdigest(),
+            "payload": payload_text,
+        }
+        data = json.dumps(body).encode()
+        path = self._result_path(key)
+        try:
+            if self.injector is not None:
+                self.injector.fire(SITE_STORE_WRITE, key)
+                data = self.injector.mangle(SITE_STORE_WRITE, key, data)
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{key[:16]}.", suffix=".tmp", dir=path.parent
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                try:
+                    # Hard link = atomic create-exclusive publication:
+                    # os.replace would let a late duplicate clobber the
+                    # canonical result other workers already adopted.
+                    os.link(tmp, path)
+                except FileExistsError:
+                    self.duplicates += 1
+                    return False
+            finally:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        except Exception:
+            self.write_errors += 1
+            return False
+        self.published += 1
+        return True
+
+    def fetch(self, key: str) -> dict | None:
+        """The published payload for *key*, or ``None`` (not published
+        yet, or counted-and-quarantined corruption).  Never raises."""
+        if self.disabled:
+            return None
+        path = self._result_path(key)
+        if not path.exists():
+            return None
+        try:
+            if self.injector is not None:
+                self.injector.fire(SITE_STORE_READ, key)
+            raw = path.read_bytes()
+            if self.injector is not None:
+                raw = self.injector.mangle(SITE_STORE_READ, key, raw)
+            body = json.loads(raw)
+            if body["schema"] != WORKLIST_SCHEMA:
+                raise ValueError("work-list schema mismatch")
+            payload_text = body["payload"]
+            checksum = hashlib.sha256(payload_text.encode()).hexdigest()
+            if checksum != body["checksum"]:
+                raise ValueError("work-list result checksum mismatch")
+            payload = json.loads(payload_text)
+        except Exception:
+            # Corrupt: quarantine aside so the cell re-enters the
+            # claimable pool and is re-derived from source.
+            self.corrupt += 1
+            if quarantine_aside(path, path.parent):
+                self.quarantined += 1
+            return None
+        self.fetched += 1
+        return payload
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "disabled": int(self.disabled),
+            "claimed": self.claimed,
+            "stolen": self.stolen,
+            "released": self.released,
+            "renewed": self.renewed,
+            "lease_lost": self.lease_lost,
+            "claim_errors": self.claim_errors,
+            "published": self.published,
+            "duplicates": self.duplicates,
+            "fetched": self.fetched,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+            "write_errors": self.write_errors,
+        }

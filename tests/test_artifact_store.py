@@ -1,0 +1,348 @@
+"""Artifact-store acceptance: snapshot fidelity, corrupt-never-trusted,
+degradation, pruning, registry warm-start and the registry-reset fix.
+
+The store's contract (the robustness issue's tentpole): a fresh process
+warm-starts from persisted decode/superblock/JIT state instead of
+re-paying predecode, a corrupt artifact is counted + quarantined aside
++ re-derived from source (corrupt != miss, never trusted), and a store
+root that is unavailable degrades the run to local cold starts instead
+of failing it.  Byte-identity of verdicts always comes before any
+warm-start claim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.scheduler import (
+    RegressionScheduler,
+    result_to_payload,
+)
+from repro.core.system_env import make_default_system
+from repro.core.workspace import (
+    load_module_environment,
+    write_system_environment,
+)
+from repro.core.targets import target as lookup_target
+from repro.isa import decodecache
+from repro.isa.decodecache import (
+    RegistryReset,
+    install_cache,
+    registry_stats,
+    reset_registry,
+    set_artifact_store,
+)
+from repro.soc.derivatives import derivative as lookup_derivative
+from repro.store import ArtifactStore, restore_decode_cache, snapshot_decode_cache
+
+
+@pytest.fixture(scope="module")
+def matrix(tmp_path_factory):
+    """One small (env, derivative, targets) matrix, loaded once."""
+    system_dir = write_system_environment(
+        make_default_system(nvm_tests=1, uart_tests=0),
+        tmp_path_factory.mktemp("store-ws") / "ws",
+    )
+    environments = {"NVM": load_module_environment(system_dir / "NVM")}
+    derivative = lookup_derivative("sc88a")
+    targets = [lookup_target("golden"), lookup_target("rtl")]
+    return environments, derivative, targets
+
+
+@pytest.fixture(autouse=True)
+def clean_global_store():
+    """No test leaks a process-global artifact store into the next."""
+    yield
+    set_artifact_store(None)
+
+
+def run_matrix(matrix, **scheduler_kwargs):
+    environments, derivative, targets = matrix
+    scheduler = RegressionScheduler(
+        targets=targets, executor="serial", **scheduler_kwargs
+    )
+    return scheduler, scheduler.run_system(environments, derivative)
+
+
+def verdict_bytes(report) -> dict[tuple, bytes]:
+    """Canonical byte encoding of every verdict in a report."""
+    return {
+        key: json.dumps(
+            result_to_payload(result), sort_keys=True
+        ).encode()
+        for key, result in report.results.items()
+    }
+
+
+def warm_and_persist(matrix, store: ArtifactStore):
+    """Run the matrix once with *store* installed; returns the report
+    (the run's own finally-persist writes the artifacts)."""
+    set_artifact_store(store)
+    _scheduler, report = run_matrix(matrix)
+    return report
+
+
+# --------------------------------------------------------------------------
+# roundtrip + warm-start byte identity
+# --------------------------------------------------------------------------
+
+class TestRoundtrip:
+    def test_scheduler_run_persists_registry(self, tmp_path, matrix):
+        store = ArtifactStore(tmp_path)
+        reset_registry()
+        warm_and_persist(matrix, store)
+        assert store.saved >= 1
+        assert store.write_errors == 0
+        assert sorted(tmp_path.glob("decode-*.art"))
+
+    def test_warm_start_is_byte_identical_and_skips_predecode(
+        self, tmp_path, matrix
+    ):
+        store = ArtifactStore(tmp_path)
+        reset_registry()
+        cold_report = warm_and_persist(matrix, store)
+
+        # Fresh "process": empty registry, fresh store handle.
+        reset_registry()
+        warm = ArtifactStore(tmp_path)
+        set_artifact_store(warm)
+        scheduler, warm_report = run_matrix(matrix)
+
+        # Byte identity before any warmth claim.
+        assert verdict_bytes(warm_report) == verdict_bytes(cold_report)
+        assert warm.hits >= 1
+        assert warm.corrupt == 0
+        # The restored caches are fully predecoded: the warm run never
+        # missed the decode cache.
+        assert scheduler.engine_stats["decode_misses"] == 0
+
+    def test_snapshot_restore_preserves_block_entry_aliasing(
+        self, tmp_path, matrix
+    ):
+        reset_registry()
+        run_matrix(matrix)
+        key, cache = next(iter(decodecache._REGISTRY.items()))
+        assert cache._entries  # the run warmed it
+        restored = restore_decode_cache(snapshot_decode_cache(cache))
+        assert set(restored._entries) == set(cache._entries)
+        assert set(restored._blocks) == set(cache._blocks)
+        assert restored._skip == cache._skip
+        # The pickle memo must preserve identity: block bodies alias
+        # the restored entries dict, not parallel copies.
+        for pc, block in restored._blocks.items():
+            for offset, entry in enumerate(block.body):
+                assert entry is restored._entries[entry.pc]
+
+
+# --------------------------------------------------------------------------
+# corrupt != miss: counted, quarantined aside, re-derived, never trusted
+# --------------------------------------------------------------------------
+
+class TestCorruption:
+    def corrupt_file(self, path) -> None:
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+    def corrupt_one(self, tmp_path) -> None:
+        self.corrupt_file(next(tmp_path.glob("decode-*.art")))
+
+    def test_corrupt_artifact_is_quarantined_and_rederived(
+        self, tmp_path, matrix
+    ):
+        store = ArtifactStore(tmp_path)
+        reset_registry()
+        cold_report = warm_and_persist(matrix, store)
+        artifacts = sorted(tmp_path.glob("decode-*.art"))
+        for path in artifacts:
+            self.corrupt_file(path)
+
+        reset_registry()
+        fresh = ArtifactStore(tmp_path)
+        set_artifact_store(fresh)
+        _scheduler, report = run_matrix(matrix)
+
+        # Every corrupt artifact was detected, renamed aside as
+        # evidence, and the state re-derived from source — verdicts
+        # identical to the cold run, nothing trusted.
+        assert verdict_bytes(report) == verdict_bytes(cold_report)
+        assert fresh.corrupt == len(artifacts)
+        assert fresh.quarantined == len(artifacts)
+        assert fresh.hits == 0
+        evidence = list(tmp_path.glob("*.corrupt"))
+        assert len(evidence) == len(artifacts)
+        # The re-derived state was re-persisted over the quarantined
+        # originals by the run's finally-persist.
+        assert fresh.saved >= 1
+
+    def test_repeated_corruption_preserves_every_evidence_file(
+        self, tmp_path, matrix
+    ):
+        store = ArtifactStore(tmp_path)
+        reset_registry()
+        warm_and_persist(matrix, store)
+        key = next(iter(decodecache._REGISTRY))
+        for _ in range(3):
+            # Re-persist (cold state changed nothing, so force a new
+            # file), corrupt it, then watch the load quarantine it.
+            store._stamps.clear()
+            assert store.save_decode_cache(
+                key, decodecache._REGISTRY[key]
+            )
+            self.corrupt_one(tmp_path)
+            assert store.load_decode_cache(key) is None
+        assert store.corrupt == 3
+        assert store.quarantined == 3
+        assert len(list(tmp_path.glob("*.corrupt"))) == 3
+
+    def test_header_key_mismatch_is_corruption(self, tmp_path, matrix):
+        store = ArtifactStore(tmp_path)
+        reset_registry()
+        warm_and_persist(matrix, store)
+        key = next(iter(decodecache._REGISTRY))
+        path = store._path(store._stem("decode", key))
+        alias = ("0" * 64, 0, 16, 0)
+        # A valid artifact squatting under another key's content
+        # address lies about its identity: corruption by definition.
+        os.replace(path, store._path(store._stem("decode", alias)))
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.load_decode_cache(alias) is None
+        assert fresh.corrupt == 1
+        assert fresh.quarantined == 1
+
+    def test_truncated_artifact_is_corruption(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        stem = store._stem("decode", ("digest", 0, 16, 0))
+        store._path(stem).write_bytes(b'{"schema": 1')  # no payload
+        assert store.load_decode_cache(("digest", 0, 16, 0)) is None
+        assert store.corrupt == 1
+
+
+# --------------------------------------------------------------------------
+# degradation: an unavailable store is counted, never fatal
+# --------------------------------------------------------------------------
+
+class TestDegradation:
+    def test_uncreatable_root_disables_the_store(self, tmp_path, matrix):
+        squatter = tmp_path / "store"
+        squatter.write_text("a file where the store root should be")
+        store = ArtifactStore(squatter)
+        assert store.disabled
+        assert store.stats()["disabled"] == 1
+        # Every operation is a contained no-op; the run still works.
+        reset_registry()
+        report = warm_and_persist(matrix, store)
+        assert report.total_runs == len(report.results)
+        assert store.saved == 0
+        assert store.load_decode_cache(("k", 0, 1, 0)) is None
+        assert store.warm_registry() == 0
+        assert store.prune(max_entries=0) == 0
+
+    def test_fleet_flag_without_store_dir_is_an_error(self, capsys):
+        from repro import cli
+
+        code = cli.main(["regress", "/nonexistent", "--fleet"])
+        assert code == 2
+        assert "--fleet requires --store-dir" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------
+# pruning
+# --------------------------------------------------------------------------
+
+class TestPrune:
+    def fill(self, store: ArtifactStore, tmp_path, count: int) -> int:
+        base = 1_000_000_000
+        for index in range(count):
+            path = tmp_path / f"decode-{index:064d}.art"
+            path.write_bytes(b"{}\nx")
+            stamp = base + index * 100
+            os.utime(path, (stamp, stamp))
+        return base
+
+    def test_max_entries_keeps_newest(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self.fill(store, tmp_path, 5)
+        assert store.prune(max_entries=2) == 3
+        survivors = sorted(p.stem for p in tmp_path.glob("*.art"))
+        assert survivors == [f"decode-{3:064d}", f"decode-{4:064d}"]
+        assert store.pruned == 3
+
+    def test_max_age_reaps_artifacts_and_evidence(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        base = self.fill(store, tmp_path, 2)
+        evidence = tmp_path / "decode-dead.0000.corrupt"
+        evidence.write_bytes(b"rot")
+        os.utime(evidence, (base, base))
+        # Entry bounds never touch evidence...
+        assert store.prune(max_entries=100) == 0
+        assert evidence.exists()
+        # ...but the age horizon reaps it with the stale artifact.
+        assert store.prune(max_age=150, now=base + 200) == 2
+        assert not evidence.exists()
+
+    def test_noop_without_bounds(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self.fill(store, tmp_path, 2)
+        assert store.prune() == 0
+
+
+# --------------------------------------------------------------------------
+# boot-time rehydration + registry semantics
+# --------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_warm_registry_installs_every_snapshot(self, tmp_path, matrix):
+        store = ArtifactStore(tmp_path)
+        reset_registry()
+        warm_and_persist(matrix, store)
+        saved_keys = set(decodecache._REGISTRY)
+        assert saved_keys
+
+        reset_registry()
+        fresh = ArtifactStore(tmp_path)
+        installed = fresh.warm_registry()
+        assert installed == len(saved_keys)
+        assert set(decodecache._REGISTRY) == saved_keys
+        assert registry_stats()["registry_size"] == len(saved_keys)
+
+    def test_install_cache_live_entry_wins(self, tmp_path, matrix):
+        reset_registry()
+        run_matrix(matrix)
+        key, live = next(iter(decodecache._REGISTRY.items()))
+        restored = restore_decode_cache(snapshot_decode_cache(live))
+        assert install_cache(key, restored) is live
+        assert decodecache._REGISTRY[key] is live
+
+    def test_reset_registry_zeroes_evictions_and_keeps_int_contract(
+        self, matrix, monkeypatch
+    ):
+        """The satellite fix: ``reset_registry`` used to zero the
+        registry but leave the eviction counter standing, so the next
+        cold-start measurement inherited a previous sample's
+        evictions."""
+        reset_registry()
+        run_matrix(matrix)
+        assert decodecache._REGISTRY
+        # Force evictions: a limit of 1 evicts on the next install.
+        monkeypatch.setattr(decodecache, "_REGISTRY_LIMIT", 1)
+        cache = next(iter(decodecache._REGISTRY.values()))
+        install_cache(("other", 0, 1, 0), restore_decode_cache(
+            snapshot_decode_cache(cache)
+        ))
+        assert registry_stats()["registry_evictions"] >= 1
+
+        dropped = reset_registry()
+        # Existing callers treat the return as an int...
+        assert isinstance(dropped, RegistryReset)
+        assert isinstance(dropped, int)
+        assert dropped == dropped + 0
+        # ...and the reset reports and zeroes the eviction counter too.
+        assert dropped.evictions >= 1
+        assert registry_stats() == {
+            "registry_size": 0,
+            "registry_evictions": 0,
+        }

@@ -23,15 +23,20 @@ from repro.core.faults import (
     SITE_CACHE_READ,
     SITE_CACHE_WRITE,
     SITE_JOURNAL_WRITE,
+    SITE_LEASE_RENEW,
     SITE_POOL_LEASE,
     SITE_SERVICE_ACCEPT,
     SITE_SESSION_RUN,
+    SITE_STORE_READ,
+    SITE_STORE_WRITE,
     SITE_WORKER_BOOT,
 )
 from repro.core.scheduler import ResultCache
 from repro.core.system_env import make_default_system
 from repro.core.workspace import write_system_environment
+from repro.isa.decodecache import reset_registry, set_artifact_store
 from repro.service import JobJournal, RegressionService, ServiceDaemon
+from repro.store import ArtifactStore
 
 pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
 
@@ -241,11 +246,29 @@ CHAOS_CASES = {
         FaultSpec(site=SITE_JOURNAL_WRITE, action="raise"),
         smoke_pack(),
     ),
+    # Artifact-store sites: the daemon persists warmed decode state
+    # after every job (store-write) and consults the store on registry
+    # misses (store-read; the scenario resets the registry between its
+    # two submissions so the second one demonstrably reads back what
+    # the first one persisted — under injected corruption).
+    SITE_STORE_READ: (
+        FaultSpec(site=SITE_STORE_READ, action="corrupt", times=10),
+        smoke_pack(),
+    ),
+    SITE_STORE_WRITE: (
+        FaultSpec(site=SITE_STORE_WRITE, action="raise", times=10),
+        smoke_pack(),
+    ),
 }
 
 
 def test_chaos_cases_cover_every_site():
-    assert set(CHAOS_CASES) == set(ALL_SITES)
+    """Every injection site is chaos-tested against a live daemon —
+    except ``lease-renew``, which only exists on the fleet work-list
+    (the daemon holds no cell leases); its live chaos coverage is the
+    fleet suite in ``tests/test_worklist.py``."""
+    assert set(CHAOS_CASES) | {SITE_LEASE_RENEW} == set(ALL_SITES)
+    assert SITE_LEASE_RENEW not in CHAOS_CASES
 
 
 @pytest.mark.parametrize("site", sorted(CHAOS_CASES))
@@ -261,20 +284,37 @@ def test_chaos_every_accepted_request_terminates(workspace, tmp_path, site):
             workspace,
             journal=JobJournal(tmp_path / "journal"),
             cache=ResultCache(tmp_path / "cache"),
+            store=ArtifactStore(tmp_path / "store"),
             fault_plan=FaultPlan(seed=3, specs=[spec]),
         )
-        daemon = await start_daemon(service)
-        outcomes = []
-        # Two submissions: cache faults need a second pass to hit the
-        # read path, and windowed faults prove recovery on the retry.
-        for _attempt in range(2):
-            status, _headers, events = await http_request(
-                daemon.port, "POST", "/submit", body=pack
-            )
-            outcomes.append((status, events))
-        alive = await http_request(daemon.port, "GET", "/healthz")
-        stats = service.stats()
-        await daemon.shutdown()
+        try:
+            daemon = await start_daemon(service)
+            outcomes = []
+            # Two submissions: cache/store faults need a second pass to
+            # hit the read path, and windowed faults prove recovery on
+            # the retry.
+            for attempt in range(2):
+                body = pack
+                if attempt and site == SITE_STORE_READ:
+                    # Force the second submission to warm-start from
+                    # the store (registry miss -> store read), where
+                    # the armed corruption is waiting.  The bumped
+                    # instruction budget changes the *result*-cache
+                    # key (else the run is a cache hit and never
+                    # decodes) but not the decode/store key.
+                    reset_registry()
+                    body = dict(pack, max_instructions=1_000_001)
+                status, _headers, events = await http_request(
+                    daemon.port, "POST", "/submit", body=body
+                )
+                outcomes.append((status, events))
+            alive = await http_request(daemon.port, "GET", "/healthz")
+            stats = service.stats()
+            await daemon.shutdown()
+        finally:
+            # The service installed its store process-globally; do not
+            # leak it into unrelated tests.
+            set_artifact_store(None)
         return outcomes, alive, stats
 
     outcomes, alive, stats = asyncio.run(
@@ -294,6 +334,14 @@ def test_chaos_every_accepted_request_terminates(workspace, tmp_path, site):
     jobs = stats["jobs"]
     assert jobs["accepted"] == jobs["completed"] + jobs["failed"]
     assert stats["journal"]["pending"] == 0
+    # The store sites must demonstrably have fired — and been
+    # contained: corruption quarantined (never trusted), write faults
+    # counted, the jobs above still terminated.
+    if site == SITE_STORE_READ:
+        assert stats["store"]["corrupt"] >= 1
+        assert stats["store"]["quarantined"] >= 1
+    elif site == SITE_STORE_WRITE:
+        assert stats["store"]["write_errors"] >= 1
 
 
 def test_kill9_between_accept_and_settle_replays_zero_loss(

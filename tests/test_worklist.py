@@ -1,0 +1,450 @@
+"""Fleet work-list acceptance: lease claims, work stealing, idempotent
+publication, chaos containment and multi-process SIGKILL recovery.
+
+The contract (the robustness issue's fleet half): several scheduler
+processes sharing one directory divide a matrix by racing lease-based
+cell claims; a SIGKILLed worker's cells are stolen by survivors after
+its lease expires; publication is first-writer-wins so at-least-once
+execution yields exactly-once accounting; corrupt published results are
+quarantined and re-derived, never trusted; and healthy-cell verdicts
+are byte-identical to a scalar serial run of the same matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    SITE_LEASE_RENEW,
+    SITE_SESSION_RUN,
+    SITE_STORE_READ,
+    SITE_STORE_WRITE,
+)
+from repro.core.scheduler import RegressionScheduler, result_to_payload
+from repro.core.system_env import make_default_system
+from repro.core.targets import target as lookup_target
+from repro.core.workspace import (
+    load_module_environment,
+    write_system_environment,
+)
+from repro.soc.derivatives import derivative as lookup_derivative
+from repro.store import WorkList
+from repro.store.worklist import cell_key
+
+TARGETS = ["golden", "rtl"]
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    return write_system_environment(
+        make_default_system(nvm_tests=2, uart_tests=0),
+        tmp_path_factory.mktemp("fleet-ws") / "ws",
+    )
+
+
+def make_scheduler(workspace, worklist=None, fault_plan=None):
+    return RegressionScheduler(
+        targets=[lookup_target(name) for name in TARGETS],
+        executor="serial",
+        worklist=worklist,
+        fault_plan=fault_plan,
+    )
+
+
+def run_matrix(workspace, worklist=None, fault_plan=None):
+    scheduler = make_scheduler(workspace, worklist, fault_plan)
+    environments = {"NVM": load_module_environment(Path(workspace) / "NVM")}
+    report = scheduler.run_system(
+        environments, lookup_derivative("sc88a")
+    )
+    return scheduler, report
+
+
+def verdict_bytes(report) -> dict[tuple, bytes]:
+    return {
+        key: json.dumps(
+            result_to_payload(result), sort_keys=True
+        ).encode()
+        for key, result in report.results.items()
+    }
+
+
+# --------------------------------------------------------------------------
+# lease protocol
+# --------------------------------------------------------------------------
+
+class TestLease:
+    def make(self, tmp_path, **kwargs):
+        now = [1_000.0]
+        kwargs.setdefault("clock", lambda: now[0])
+        kwargs.setdefault("lease_ttl", 10.0)
+        return WorkList(tmp_path, **kwargs), now
+
+    def test_claim_is_exclusive_while_live(self, tmp_path):
+        worklist, _now = self.make(tmp_path, owner="a")
+        rival, _ = self.make(tmp_path, owner="b")
+        lease = worklist.claim("cell")
+        assert lease is not None and not lease.stolen
+        assert rival.claim("cell") is None
+        worklist.release(lease)
+        assert rival.claim("cell") is not None
+        assert worklist.claimed == 1 and worklist.released == 1
+
+    def test_expired_lease_is_stolen_with_nonce_confirm(self, tmp_path):
+        worklist, now = self.make(tmp_path, owner="dead")
+        survivor, snow = self.make(tmp_path, owner="alive")
+        lease = worklist.claim("cell")
+        assert lease is not None
+        # Dead worker: wall clock passes the expiry on both sides.
+        now[0] += 20.0
+        snow[0] += 20.0
+        stolen = survivor.claim("cell")
+        assert stolen is not None and stolen.stolen
+        assert survivor.stolen == 1
+        # The original holder's release must not unlink the stolen
+        # lease: the nonce no longer matches.
+        worklist.release(lease)
+        assert (tmp_path / "leases" / "cell.lease").exists()
+
+    def test_renew_extends_and_detects_lost_ownership(self, tmp_path):
+        worklist, now = self.make(tmp_path, owner="a")
+        lease = worklist.claim("cell")
+        before = lease.expires
+        now[0] += 5.0
+        assert worklist.renew(lease)
+        assert lease.expires > before
+        assert worklist.renewed == 1
+        # Another worker steals after expiry; our renew must detect
+        # the foreign nonce and mark the lease lost, not clobber it.
+        rival, rnow = self.make(tmp_path, owner="thief")
+        now[0] += 20.0
+        rnow[0] = now[0]
+        assert rival.claim("cell") is not None
+        assert not worklist.renew(lease)
+        assert lease.lost
+        assert worklist.lease_lost == 1
+        # A lost lease stays lost; renew never resurrects it.
+        assert not worklist.renew(lease)
+
+    def test_renew_chaos_site_fires_and_is_contained(self, tmp_path):
+        plan = FaultPlan(
+            seed=7,
+            specs=[FaultSpec(site=SITE_LEASE_RENEW, action="raise")],
+        )
+        injector = FaultInjector(plan)
+        worklist, _now = self.make(tmp_path, injector=injector)
+        lease = worklist.claim("cell")
+        assert not worklist.renew(lease)
+        assert lease.lost
+        assert worklist.lease_lost == 1
+        assert ("lease-renew", "cell", "raise") in injector.fired
+
+    def test_heartbeat_renews_from_background_thread(self, tmp_path):
+        worklist = WorkList(tmp_path, lease_ttl=0.06)
+        lease = worklist.claim("cell")
+        with worklist.heartbeat(lease, interval=0.02):
+            time.sleep(0.15)
+        assert worklist.renewed >= 1
+        assert not lease.lost
+
+    def test_torn_lease_file_is_claimable(self, tmp_path):
+        worklist, _now = self.make(tmp_path)
+        (tmp_path / "leases").mkdir(exist_ok=True)
+        (tmp_path / "leases" / "cell.lease").write_bytes(b"to")
+        lease = worklist.claim("cell")
+        assert lease is not None and lease.stolen
+
+
+# --------------------------------------------------------------------------
+# publication
+# --------------------------------------------------------------------------
+
+class TestPublish:
+    def test_first_writer_wins_and_duplicates_count(self, tmp_path):
+        first = WorkList(tmp_path, owner="a")
+        second = WorkList(tmp_path, owner="b")
+        assert first.publish("cell", {"verdict": "first"})
+        assert not second.publish("cell", {"verdict": "second"})
+        assert second.duplicates == 1
+        # Every reader adopts the canonical first write.
+        assert first.fetch("cell") == {"verdict": "first"}
+        assert second.fetch("cell") == {"verdict": "first"}
+        assert not list(tmp_path.glob("results/*.tmp"))
+
+    def test_corrupt_result_is_quarantined_and_republishable(
+        self, tmp_path
+    ):
+        worklist = WorkList(tmp_path)
+        assert worklist.publish("cell", {"verdict": "good"})
+        path = tmp_path / "results" / "cell.json"
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        # Corrupt != trusted: counted, renamed aside, cell re-enters
+        # the claimable pool and the verdict is re-derived.
+        assert worklist.fetch("cell") is None
+        assert worklist.corrupt == 1
+        assert worklist.quarantined == 1
+        assert list((tmp_path / "results").glob("*.corrupt"))
+        assert worklist.publish("cell", {"verdict": "rederived"})
+        assert worklist.fetch("cell") == {"verdict": "rederived"}
+
+    def test_cell_key_is_deterministic_and_distinct(self):
+        key = cell_key("env", "cell", "sc88a", "golden", "digest", 1000)
+        assert key == cell_key(
+            "env", "cell", "sc88a", "golden", "digest", 1000
+        )
+        assert key != cell_key(
+            "env", "cell", "sc88a", "rtl", "digest", 1000
+        )
+        assert len(key) == 64
+
+    def test_disabled_worklist_contains_everything(self, tmp_path):
+        squatter = tmp_path / "wl"
+        squatter.write_text("a file where the work-list should be")
+        worklist = WorkList(squatter)
+        assert worklist.disabled
+        assert worklist.claim("cell") is None
+        assert not worklist.publish("cell", {})
+        assert worklist.fetch("cell") is None
+        assert worklist.stats()["disabled"] == 1
+
+
+# --------------------------------------------------------------------------
+# fleet execution through the scheduler
+# --------------------------------------------------------------------------
+
+class TestFleetScheduler:
+    def test_second_worker_adopts_every_published_verdict(
+        self, workspace, tmp_path
+    ):
+        _oracle_sched, oracle = run_matrix(workspace)
+        _first, first = run_matrix(
+            workspace, worklist=WorkList(tmp_path, owner="first")
+        )
+        assert verdict_bytes(first) == verdict_bytes(oracle)
+        assert first.executed_runs == first.total_runs
+
+        second_list = WorkList(tmp_path, owner="second")
+        _second_sched, second = run_matrix(workspace, worklist=second_list)
+        # Everything was already published: the second worker executes
+        # nothing and adopts byte-identical verdicts.
+        assert verdict_bytes(second) == verdict_bytes(oracle)
+        assert second.fetched_runs == second.total_runs
+        assert second.executed_runs == 0
+        assert second_list.fetched == second.total_runs
+
+    def test_matrix_completes_under_store_chaos(self, workspace, tmp_path):
+        """All three store-layer sites armed hot: every fetch raises,
+        every publish raises, every renew raises.  The matrix must
+        still complete with locally-derived, byte-identical verdicts —
+        store chaos degrades, it never wedges."""
+        _oracle_sched, oracle = run_matrix(workspace)
+        plan = FaultPlan(
+            seed=11,
+            specs=[
+                FaultSpec(
+                    site=SITE_STORE_READ, action="raise", times=10_000
+                ),
+                FaultSpec(
+                    site=SITE_STORE_WRITE, action="raise", times=10_000
+                ),
+                FaultSpec(
+                    site=SITE_LEASE_RENEW, action="raise", times=10_000
+                ),
+            ],
+        )
+        worklist = WorkList(tmp_path, lease_ttl=5.0)
+        _sched, report = run_matrix(
+            workspace, worklist=worklist, fault_plan=plan
+        )
+        assert verdict_bytes(report) == verdict_bytes(oracle)
+        assert report.quarantined_runs == 0
+        assert report.total_runs == len(TARGETS) * 2
+        # The chaos demonstrably hit the store layer and was counted.
+        assert worklist.write_errors == report.total_runs
+        assert worklist.corrupt == 0  # nothing was ever published
+
+    def test_quarantined_verdicts_are_never_published(
+        self, workspace, tmp_path
+    ):
+        plan = FaultPlan(
+            seed=5,
+            specs=[
+                FaultSpec(
+                    site=SITE_SESSION_RUN,
+                    action="raise",
+                    times=10_000,
+                    match="golden",
+                )
+            ],
+        )
+        worklist = WorkList(tmp_path)
+        _sched, report = run_matrix(
+            workspace, worklist=worklist, fault_plan=plan
+        )
+        # golden cells quarantine locally; rtl cells publish.
+        assert report.quarantined_runs == 2
+        assert worklist.published == 2
+        published = [
+            json.loads(
+                json.loads(path.read_text())["payload"]
+            )["platform"]
+            for path in (tmp_path / "results").glob("*.json")
+        ]
+        assert published and all(name == "rtl" for name in published)
+
+
+# --------------------------------------------------------------------------
+# multi-process SIGKILL stress (the fleet acceptance test)
+# --------------------------------------------------------------------------
+
+def _fleet_worker(
+    workspace: str,
+    store_dir: str,
+    report_path: str,
+    owner: str,
+    lease_ttl: float,
+    kill_on_first_run: bool,
+) -> None:
+    """One fleet worker process.  The victim variant SIGKILLs itself at
+    its first session start — after claiming a lease, before publishing
+    anything — exactly the crash the steal protocol exists for."""
+    plan = (
+        FaultPlan(
+            specs=[FaultSpec(site=SITE_SESSION_RUN, action="kill")]
+        )
+        if kill_on_first_run
+        else None
+    )
+    worklist = WorkList(store_dir, owner=owner, lease_ttl=lease_ttl)
+    scheduler = RegressionScheduler(
+        targets=[lookup_target(name) for name in TARGETS],
+        executor="serial",
+        worklist=worklist,
+        fault_plan=plan,
+        retries=0,
+    )
+    environments = {"NVM": load_module_environment(Path(workspace) / "NVM")}
+    report = scheduler.run_system(
+        environments, lookup_derivative("sc88a")
+    )
+    payload = {
+        "results": {
+            "/".join(key): json.dumps(
+                result_to_payload(result), sort_keys=True
+            )
+            for key, result in report.results.items()
+        },
+        "stats": worklist.stats(),
+        "counters": {
+            "total": report.total_runs,
+            "executed": report.executed_runs,
+            "fetched": report.fetched_runs,
+            "stolen": report.stolen_runs,
+            "quarantined": report.quarantined_runs,
+        },
+    }
+    Path(report_path).write_text(json.dumps(payload, sort_keys=True))
+
+
+def test_sigkilled_worker_is_stolen_and_matrix_settles_exactly_once(
+    workspace, tmp_path
+):
+    """One worker is SIGKILLed mid-shard holding a lease.  Survivors
+    must reclaim its cell after expiry, every cell must settle exactly
+    once (first-writer-wins accounting), no torn or trusted-corrupt
+    artifact may exist, and every verdict must be byte-identical to a
+    scalar serial oracle run."""
+    store_dir = tmp_path / "fleet"
+    lease_ttl = 1.0
+    cells = len(TARGETS) * 2  # 2 NVM tests x 2 targets
+
+    victim = multiprocessing.Process(
+        target=_fleet_worker,
+        args=(
+            str(workspace), str(store_dir),
+            str(tmp_path / "victim.json"), "victim", lease_ttl, True,
+        ),
+    )
+    victim.start()
+    # Let the victim claim its first lease before the survivors start,
+    # so a steal is guaranteed to be needed.
+    deadline = time.time() + 30.0
+    leases = store_dir / "leases"
+    while time.time() < deadline:
+        if leases.is_dir() and any(leases.glob("*.lease")):
+            break
+        time.sleep(0.01)
+    victim.join(timeout=30.0)
+    assert victim.exitcode == -signal.SIGKILL
+    assert any(leases.glob("*.lease"))  # the orphaned lease
+    assert not (tmp_path / "victim.json").exists()  # died mid-shard
+
+    survivors = [
+        multiprocessing.Process(
+            target=_fleet_worker,
+            args=(
+                str(workspace), str(store_dir),
+                str(tmp_path / f"survivor{index}.json"),
+                f"survivor{index}", lease_ttl, False,
+            ),
+        )
+        for index in range(2)
+    ]
+    for process in survivors:
+        process.start()
+    for process in survivors:
+        process.join(timeout=120.0)
+        assert process.exitcode == 0
+
+    reports = [
+        json.loads((tmp_path / f"survivor{index}.json").read_text())
+        for index in range(2)
+    ]
+
+    # Every survivor saw the whole matrix settle, nothing quarantined.
+    for report in reports:
+        assert report["counters"]["total"] == cells
+        assert report["counters"]["quarantined"] == 0
+        assert (
+            report["counters"]["executed"]
+            + report["counters"]["fetched"]
+            == cells
+        )
+
+    # The dead worker's cell was stolen, and exactly-once accounting
+    # holds: one published file per cell, ever, across the fleet.
+    assert sum(r["counters"]["stolen"] for r in reports) >= 1
+    assert sum(r["stats"]["stolen"] for r in reports) >= 1
+    assert sum(r["stats"]["published"] for r in reports) == cells
+    results_dir = store_dir / "results"
+    assert len(list(results_dir.glob("*.json"))) == cells
+
+    # Zero torn artifacts: no temp droppings, and a fresh reader
+    # verifies every published envelope cleanly.
+    assert not list(results_dir.glob(".*.tmp"))
+    assert not list(results_dir.glob("*.corrupt"))
+    fresh = WorkList(store_dir, owner="auditor")
+    for path in results_dir.glob("*.json"):
+        assert fresh.fetch(path.stem) is not None
+    assert fresh.corrupt == 0
+
+    # Byte-identity against the scalar serial oracle, per cell.
+    _oracle_sched, oracle = run_matrix(workspace)
+    oracle_map = {
+        "/".join(key): payload.decode()
+        for key, payload in verdict_bytes(oracle).items()
+    }
+    for report in reports:
+        assert report["results"] == oracle_map
